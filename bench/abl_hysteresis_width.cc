@@ -1,0 +1,51 @@
+// Ablation: hysteresis width. Sweeps K2 - K1 at fixed midpoint 40
+// (width 0 = DCTCP) and reports queue stability in both the packet
+// simulator and the DF analysis. This isolates the design choice the
+// paper fixes at (30, 50).
+#include <cstdio>
+
+#include "analysis/nyquist.h"
+#include "bench/bench_common.h"
+#include "bench/sweep_common.h"
+
+using namespace dtdctcp;
+
+int main() {
+  bench::header("Ablation", "hysteresis width at fixed midpoint 40 pkts");
+  const std::size_t flows = 100;  // the paper's most oscillatory point
+  std::printf("packet sim: N=%zu, 10 Gbps, RTT 100 us, buffer 100 pkts\n",
+              flows);
+  std::printf("analysis:   RTT 1 ms (oscillatory regime), critical N\n\n");
+
+  std::printf("%8s %8s %8s | %10s %10s %10s | %10s\n", "width", "K1", "K2",
+              "qmean", "qsd", "drops", "critN");
+  for (double width : {0.0, 4.0, 10.0, 20.0, 30.0, 40.0}) {
+    const double k1 = 40.0 - width / 2.0;
+    const double k2 = 40.0 + width / 2.0;
+
+    auto cfg = bench::sweep_config(flows, /*dt=*/width > 0.0);
+    cfg.marking = width > 0.0 ? core::MarkingConfig::dt_dctcp(k1, k2)
+                              : core::MarkingConfig::dctcp(40.0);
+    const auto r = core::run_dumbbell(cfg);
+
+    analysis::PlantParams p;
+    p.capacity_pps = 1e10 / (8.0 * 1500.0);
+    p.rtt = 1e-3;
+    p.g = 1.0 / 16.0;
+    const auto spec = width > 0.0 ? fluid::MarkingSpec::hysteresis(k1, k2)
+                                  : fluid::MarkingSpec::single(40.0);
+    const int crit = analysis::critical_flows(p, spec, 5, 400);
+
+    std::printf("%8.0f %8.0f %8.0f | %10.1f %10.2f %10llu | %10d\n", width,
+                k1, k2, r.queue_mean, r.queue_stddev,
+                static_cast<unsigned long long>(r.drops), crit);
+    std::fflush(stdout);
+  }
+
+  bench::expectation(
+      "Widening the loop raises the DF critical N monotonically (more "
+      "phase lead). In the packet simulator a moderate width reduces "
+      "queue stddev and drops at N=100 relative to width 0 (DCTCP); very "
+      "wide loops trade stability for a larger standing queue.");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: the minimum RTO. The Incast cliff's *depth* is set almost
+// entirely by min-RTO (the collapse goodput is roughly
+// bytes / min_rto); its *location* by buffer and marking. The paper-era
+// stacks used 200 ms; datacenter-tuned stacks dropped it to
+// milliseconds, which is the classic Incast mitigation this bench
+// quantifies against DT-DCTCP's.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/incast_experiment.h"
+
+using namespace dtdctcp;
+
+namespace {
+
+core::IncastExperimentResult run_point(std::size_t flows, bool dt,
+                                       double min_rto) {
+  core::IncastExperimentConfig cfg;
+  cfg.flows = flows;
+  cfg.bytes_per_worker = 64 * 1024;
+  cfg.repetitions = bench::scaled_count(30, 5);
+  cfg.tcp.mode = tcp::CcMode::kDctcp;
+  cfg.tcp.min_rto = min_rto;
+  cfg.tcp.init_rto = min_rto;
+  cfg.testbed.marking =
+      dt ? core::MarkingConfig::dt_dctcp(28 * 1024, 34 * 1024,
+                                         queue::ThresholdUnit::kBytes)
+         : core::MarkingConfig::dctcp(32 * 1024,
+                                      queue::ThresholdUnit::kBytes);
+  return core::run_incast(cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation", "Incast vs minimum RTO");
+  std::printf("testbed as Figure 14, %zu repetitions per point\n\n",
+              bench::scaled_count(30, 5));
+
+  for (double rto_ms : {200.0, 50.0, 10.0}) {
+    bench::section(rto_ms == 200.0 ? "min-RTO 200 ms (paper-era default)"
+                   : rto_ms == 50.0 ? "min-RTO 50 ms"
+                                    : "min-RTO 10 ms (datacenter-tuned)");
+    std::printf("%5s %14s %14s %10s %10s\n", "n", "DC_Mbps", "DT_Mbps",
+                "DC_to", "DT_to");
+    for (std::size_t n : {24, 32, 36, 40, 44, 48}) {
+      const auto dc = run_point(n, false, rto_ms * 1e-3);
+      const auto dt = run_point(n, true, rto_ms * 1e-3);
+      std::printf("%5zu %14.1f %14.1f %10llu %10llu\n", n,
+                  dc.goodput_mean_bps / 1e6, dt.goodput_mean_bps / 1e6,
+                  static_cast<unsigned long long>(dc.timeouts),
+                  static_cast<unsigned long long>(dt.timeouts));
+      std::fflush(stdout);
+    }
+  }
+
+  bench::expectation(
+      "With min-RTO 200 ms the collapse is catastrophic (goodput drops "
+      "to ~100 Mbps). Shrinking min-RTO raises the post-collapse floor "
+      "dramatically — the orthogonal mitigation — while the marking "
+      "scheme (DT vs DC) shifts where degradation starts.");
+  return 0;
+}

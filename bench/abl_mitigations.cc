@@ -1,0 +1,84 @@
+// Ablation: Incast mitigations compared and combined. The paper's
+// DT-DCTCP postpones the collapse via steadier queues; the systems
+// literature offers three orthogonal levers implemented in this
+// library: SACK (recover multi-loss without RTO), sender pacing (no
+// synchronized bursts), and a datacenter min-RTO. This bench crosses
+// them with the two marking schemes at the collapse boundary.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "core/incast_experiment.h"
+
+using namespace dtdctcp;
+
+namespace {
+
+struct Mitigation {
+  const char* name;
+  bool sack;
+  bool pacing;
+  double min_rto;
+};
+
+core::IncastExperimentResult run_point(std::size_t flows, bool dt,
+                                       const Mitigation& m) {
+  core::IncastExperimentConfig cfg;
+  cfg.flows = flows;
+  cfg.bytes_per_worker = 64 * 1024;
+  cfg.repetitions = bench::scaled_count(30, 5);
+  cfg.tcp.mode = tcp::CcMode::kDctcp;
+  cfg.tcp.sack_enabled = m.sack;
+  cfg.tcp.pacing = m.pacing;
+  cfg.tcp.min_rto = m.min_rto;
+  cfg.tcp.init_rto = m.min_rto;
+  cfg.testbed.marking =
+      dt ? core::MarkingConfig::dt_dctcp(28 * 1024, 34 * 1024,
+                                         queue::ThresholdUnit::kBytes)
+         : core::MarkingConfig::dctcp(32 * 1024,
+                                      queue::ThresholdUnit::kBytes);
+  return core::run_incast(cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation", "Incast mitigations at the collapse boundary");
+  std::printf("testbed as Figure 14, n in {36, 40, 44}, %zu repetitions\n\n",
+              bench::scaled_count(30, 5));
+
+  const Mitigation mitigations[] = {
+      {"baseline (200ms RTO)", false, false, 0.2},
+      {"+SACK", true, false, 0.2},
+      {"+pacing", false, true, 0.2},
+      {"+SACK+pacing", true, true, 0.2},
+      {"+SACK+pacing+10ms RTO", true, true, 0.01},
+  };
+
+  for (std::size_t n : {36, 40, 44}) {
+    bench::section(("n = " + std::to_string(n) + " synchronized flows")
+                       .c_str());
+    std::printf("%-24s | %12s %8s | %12s %8s\n", "mitigation", "DC_Mbps",
+                "DC_to", "DT_Mbps", "DT_to");
+    for (const auto& m : mitigations) {
+      const auto dc = run_point(n, false, m);
+      const auto dt = run_point(n, true, m);
+      std::printf("%-24s | %12.1f %8llu | %12.1f %8llu\n", m.name,
+                  dc.goodput_mean_bps / 1e6,
+                  static_cast<unsigned long long>(dc.timeouts),
+                  dt.goodput_mean_bps / 1e6,
+                  static_cast<unsigned long long>(dt.timeouts));
+      std::fflush(stdout);
+    }
+  }
+
+  bench::expectation(
+      "Pacing removes the synchronized burst and rescues the boundary "
+      "outright; the 10 ms min-RTO raises the post-collapse floor by an "
+      "order of magnitude. SACK helps little *here*: at cwnd ~1-2 a "
+      "worker that loses its whole window gets no dup ACKs, so the "
+      "scoreboard never engages (it shines on larger-window multi-loss, "
+      "see tests/sack_test.cc). DT-DCTCP's steadier queue adds on top "
+      "of whichever lever is active.");
+  return 0;
+}

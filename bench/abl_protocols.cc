@@ -1,0 +1,109 @@
+// Ablation: transport/AQM pairings on the dumbbell — the conventional
+// stacks the DCTCP line of work departs from (paper §I-II motivation).
+// Compares Reno+DropTail, Reno+RED, classic ECN, DCTCP, and DT-DCTCP on
+// queue occupancy, loss, and utilization at two flow counts.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "bench/sweep_common.h"
+#include "queue/codel.h"
+#include "queue/pie.h"
+#include "queue/red.h"
+
+using namespace dtdctcp;
+
+namespace {
+
+struct ProtoCase {
+  const char* name;
+  tcp::CcMode mode;
+  int queue_kind;  // 0 droptail, 1 red, 2 dctcp-K, 3 dt-hysteresis,
+                   // 4 codel, 5 pie
+};
+
+core::DumbbellResult run_case(const ProtoCase& pc, std::size_t flows) {
+  auto cfg = bench::sweep_config(flows, false);
+  cfg.tcp.mode = pc.mode;
+  cfg.tcp.min_rto = 0.01;  // loss-based stacks need a sane datacenter RTO
+  cfg.tcp.init_rto = 0.01;
+  switch (pc.queue_kind) {
+    case 0:
+      cfg.bottleneck_override = queue::drop_tail(0, 100);
+      break;
+    case 1:
+      cfg.bottleneck_override = [] {
+        queue::RedConfig rc;
+        rc.min_th = 30.0;
+        rc.max_th = 50.0;
+        rc.max_p = 0.1;
+        rc.weight = 0.002;
+        return std::make_unique<queue::RedQueue>(0, 100, rc);
+      };
+      break;
+    case 2:
+      cfg.marking = core::MarkingConfig::dctcp(40.0);
+      break;
+    case 3:
+      cfg.marking = core::MarkingConfig::dt_dctcp(30.0, 50.0);
+      break;
+    case 4:
+      cfg.bottleneck_override = [] {
+        return std::make_unique<queue::CodelQueue>(
+            0, 100, queue::CodelConfig{50e-6, 500e-6});
+      };
+      break;
+    case 5:
+      cfg.bottleneck_override = [cfg] {
+        return std::make_unique<queue::PieQueue>(0, 100, queue::PieConfig{},
+                                                 cfg.bottleneck_bps);
+      };
+      break;
+    default:
+      break;
+  }
+  return core::run_dumbbell(cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation", "transport/AQM pairings on the 10 Gbps dumbbell");
+  std::printf("buffer 100 pkts, RTT 100 us; RED band aligned with the "
+              "DT thresholds (30/50)\n\n");
+
+  const ProtoCase cases[] = {
+      {"Reno+DropTail", tcp::CcMode::kReno, 0},
+      {"CUBIC+DropTail", tcp::CcMode::kCubic, 0},
+      {"Reno+RED(drop mode)", tcp::CcMode::kReno, 1},
+      {"EcnReno+RED", tcp::CcMode::kEcnReno, 1},
+      {"EcnReno+K40", tcp::CcMode::kEcnReno, 2},
+      {"DCTCP+CoDel(50us)", tcp::CcMode::kDctcp, 4},
+      {"DCTCP+PIE(50us)", tcp::CcMode::kDctcp, 5},
+      {"DCTCP+K40", tcp::CcMode::kDctcp, 2},
+      {"DT-DCTCP(30,50)", tcp::CcMode::kDctcp, 3},
+  };
+
+  for (std::size_t flows : {10, 60}) {
+    bench::section(flows == 10 ? "N = 10 flows" : "N = 60 flows");
+    std::printf("%-32s %8s %8s %8s %8s %8s\n", "stack", "qmean", "qsd",
+                "drops", "to", "util");
+    for (const auto& pc : cases) {
+      const auto r = run_case(pc, flows);
+      std::printf("%-32s %8.1f %8.2f %8llu %8llu %8.3f\n", pc.name,
+                  r.queue_mean, r.queue_stddev,
+                  static_cast<unsigned long long>(r.drops),
+                  static_cast<unsigned long long>(r.timeouts),
+                  r.utilization);
+      std::fflush(stdout);
+    }
+  }
+
+  bench::expectation(
+      "Loss-based stacks (Reno/CUBIC over DropTail) fill the buffer and "
+      "drop steadily. RED/CoDel/PIE hold latency bands at some "
+      "throughput cost; DCTCP/DT-DCTCP pin the queue near the threshold "
+      "with near-zero loss at full utilization — the paper's motivating "
+      "comparison, with the modern AQMs added for context.");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: packet-level interpretations of the double threshold. The
+// paper specifies DT-DCTCP's rule only on trajectories that span both
+// thresholds; this bench compares the three defensible discrete
+// completions (see queue/ecn_hysteresis.h) against DCTCP across the
+// flow sweep, plus a RED baseline for context.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/sweep_common.h"
+
+using namespace dtdctcp;
+
+namespace {
+
+core::DumbbellResult run_variant(std::size_t flows, int variant) {
+  auto cfg = bench::sweep_config(flows, /*dt=*/variant > 0);
+  switch (variant) {
+    case 0:
+      cfg.marking = core::MarkingConfig::dctcp(40.0);
+      break;
+    case 1:
+      cfg.marking = core::MarkingConfig::dt_dctcp(
+          30.0, 50.0, queue::ThresholdUnit::kPackets,
+          queue::HysteresisVariant::kTrendPeak);
+      break;
+    case 2:
+      cfg.marking = core::MarkingConfig::dt_dctcp(
+          30.0, 50.0, queue::ThresholdUnit::kPackets,
+          queue::HysteresisVariant::kDrainToStart);
+      break;
+    case 3:
+      cfg.marking = core::MarkingConfig::dt_dctcp(
+          30.0, 50.0, queue::ThresholdUnit::kPackets,
+          queue::HysteresisVariant::kHalfBand);
+      break;
+    default:
+      break;
+  }
+  return core::run_dumbbell(cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation", "discrete interpretations of the double threshold");
+  std::printf("dumbbell sweep config as Figure 10; columns are queue "
+              "stddev (pkts) / alpha\n\n");
+
+  std::printf("%5s | %16s %16s %16s %16s\n", "N", "DCTCP", "DT-trendpeak",
+              "DT-draintostart", "DT-halfband");
+  for (std::size_t n : {10, 20, 35, 50, 65, 80, 100}) {
+    std::printf("%5zu |", n);
+    for (int v = 0; v < 4; ++v) {
+      const auto r = run_variant(n, v);
+      std::printf("   %6.2f/%-7.3f", r.queue_stddev, r.alpha_mean);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  bench::expectation(
+      "All DT variants beat DCTCP's queue stddev at large N (the paper's "
+      "regime). The half-band reading additionally matches the paper's "
+      "Fig. 11/12 shape at small N (uniformly smaller stddev, alpha lower "
+      "by ~0.1); the trend-peak reading is the most literal rendering of "
+      "the paper's Fig. 2(b)/Fig. 8 loop. See EXPERIMENTS.md.");
+  return 0;
+}

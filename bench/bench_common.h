@@ -1,0 +1,72 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Every bench prints:
+//   * a header identifying the paper figure/table it regenerates,
+//   * the configuration actually used (including any documented
+//     deviation from the paper),
+//   * machine-readable rows (aligned columns) for the series, and
+//   * a PAPER-EXPECTATION block naming the qualitative shape to check.
+//
+// DTDCTCP_BENCH_SCALE scales simulated durations / repetition counts
+// (default 1.0; e.g. 0.2 for a quick smoke run).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/env.h"
+
+namespace dtdctcp::bench {
+
+inline void header(const char* figure, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("bench scale: %.2f (set DTDCTCP_BENCH_SCALE to adjust)\n",
+              dtdctcp::bench_scale());
+  std::printf("==============================================================\n");
+}
+
+inline void section(const char* name) {
+  std::printf("\n--- %s ---\n", name);
+}
+
+inline void expectation(const char* text) {
+  std::printf("\nPAPER-EXPECTATION: %s\n", text);
+}
+
+/// Scales a duration/count by DTDCTCP_BENCH_SCALE with a floor.
+inline double scaled(double value, double min_value) {
+  const double v = value * dtdctcp::bench_scale();
+  return v < min_value ? min_value : v;
+}
+
+inline std::size_t scaled_count(std::size_t value, std::size_t min_value) {
+  const double v = static_cast<double>(value) * dtdctcp::bench_scale();
+  const auto n = static_cast<std::size_t>(v + 0.5);
+  return n < min_value ? min_value : n;
+}
+
+/// Writes plot-ready CSV next to the printed table when DTDCTCP_CSV_DIR
+/// is set (e.g. DTDCTCP_CSV_DIR=/tmp/plots ./build/bench/fig10_avg_queue).
+/// Silently does nothing otherwise; failures to open the file are
+/// reported on stderr but never fail the bench.
+inline void maybe_write_csv(const std::string& name,
+                            const std::vector<std::string>& header,
+                            const std::vector<std::vector<double>>& rows) {
+  const char* dir = std::getenv("DTDCTCP_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  auto out = dtdctcp::open_csv(path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "could not open %s for CSV export\n", path.c_str());
+    return;
+  }
+  dtdctcp::CsvWriter w(out);
+  w.row(header);
+  for (const auto& r : rows) w.numeric_row(r);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+}  // namespace dtdctcp::bench

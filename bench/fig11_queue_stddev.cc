@@ -1,0 +1,57 @@
+// Figure 11: standard deviation of the bottleneck queue vs number of
+// flows. Paper: both protocols' stddev grows with N; DT-DCTCP's is
+// smaller than DCTCP's at each N.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/sweep_common.h"
+
+using namespace dtdctcp;
+
+int main() {
+  bench::header("Figure 11", "queue standard deviation vs number of flows");
+  std::printf("config: as Figure 10\n\n");
+
+  const auto sweep = bench::run_flow_sweep();
+
+  std::printf("%5s %10s %10s %10s %10s %10s\n", "N", "DC_sd", "DTloop_sd",
+              "loop<DC?", "DTband_sd", "band<DC?");
+  std::size_t loop_wins = 0;
+  std::size_t band_wins = 0;
+  for (const auto& pt : sweep) {
+    const bool lw = pt.dt.queue_stddev < pt.dc.queue_stddev;
+    const bool bw = pt.dt_band.queue_stddev < pt.dc.queue_stddev;
+    loop_wins += lw ? 1 : 0;
+    band_wins += bw ? 1 : 0;
+    std::printf("%5zu %10.2f %10.2f %10s %10.2f %10s\n", pt.flows,
+                pt.dc.queue_stddev, pt.dt.queue_stddev, lw ? "yes" : "no",
+                pt.dt_band.queue_stddev, bw ? "yes" : "no");
+  }
+  std::printf("\nsmaller stddev than DCTCP: DT-loop at %zu/%zu points, "
+              "DT-band at %zu/%zu points\n",
+              loop_wins, sweep.size(), band_wins, sweep.size());
+  std::printf("growth: DC sd %.2f -> %.2f, DT-loop %.2f -> %.2f, DT-band "
+              "%.2f -> %.2f (N=10 -> 100)\n",
+              sweep.front().dc.queue_stddev, sweep.back().dc.queue_stddev,
+              sweep.front().dt.queue_stddev, sweep.back().dt.queue_stddev,
+              sweep.front().dt_band.queue_stddev,
+              sweep.back().dt_band.queue_stddev);
+
+  {
+    std::vector<std::vector<double>> rows;
+    for (const auto& pt : sweep) {
+      rows.push_back({static_cast<double>(pt.flows), pt.dc.queue_stddev,
+                      pt.dt.queue_stddev, pt.dt_band.queue_stddev});
+    }
+    bench::maybe_write_csv("fig11_queue_stddev",
+                           {"flows", "dc_sd", "dt_loop_sd", "dt_band_sd"},
+                           rows);
+  }
+
+  bench::expectation(
+      "Queue stddev grows with N for both; DT-DCTCP's oscillation is "
+      "smaller than DCTCP's at most flow counts, decisively so at large N "
+      "(the regime the paper's stability analysis addresses).");
+  return 0;
+}

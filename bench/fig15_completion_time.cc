@@ -1,0 +1,75 @@
+// Figure 15: oscillating completion-time impairment. The aggregator
+// requests 1 MB split across n workers (1 MB / n each); the query
+// completion time is the slowest worker. Paper: floor ~10 ms (1 MB at
+// 1 Gbps); DCTCP's completion time oscillates violently from 34 flows
+// and bursts ~20x at 40; DT-DCTCP climbs smoothly and only degrades at
+// 42.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/incast_experiment.h"
+
+using namespace dtdctcp;
+
+namespace {
+
+core::IncastExperimentConfig base_config(std::size_t flows, bool dt) {
+  core::IncastExperimentConfig cfg;
+  cfg.flows = flows;
+  cfg.repetitions = bench::scaled_count(100, 5);
+  cfg.tcp.mode = tcp::CcMode::kDctcp;
+  cfg.tcp.min_rto = 0.2;
+  cfg.tcp.init_rto = 0.2;
+  cfg.testbed.marking =
+      dt ? core::MarkingConfig::dt_dctcp(28 * 1024, 34 * 1024,
+                                         queue::ThresholdUnit::kBytes)
+         : core::MarkingConfig::dctcp(32 * 1024,
+                                      queue::ThresholdUnit::kBytes);
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 15", "query completion time, 1 MB partition-aggregate");
+  std::printf("testbed as Figure 14; total response 1 MB split across n "
+              "workers; %zu repetitions per point\n\n",
+              bench::scaled_count(100, 5));
+
+  std::printf("%5s | %9s %9s %9s %6s | %9s %9s %9s %6s\n", "n", "DC_mean",
+              "DC_p99", "DC_max", "DC_to", "DT_mean", "DT_p99", "DT_max",
+              "DT_to");
+  std::printf("%5s | %9s %9s %9s %6s | %9s %9s %9s %6s\n", "", "(ms)",
+              "(ms)", "(ms)", "", "(ms)", "(ms)", "(ms)", "");
+  std::size_t dt_fewer_timeouts = 0;
+  std::size_t total_points = 0;
+  for (std::size_t n = 4; n <= 48; n += 2) {
+    const auto rdc =
+        core::run_partition_aggregate(base_config(n, false), 1024 * 1024);
+    const auto rdt =
+        core::run_partition_aggregate(base_config(n, true), 1024 * 1024);
+    std::printf("%5zu | %9.2f %9.2f %9.2f %6llu | %9.2f %9.2f %9.2f %6llu\n",
+                n, rdc.completion_mean_s * 1e3, rdc.completion_p99_s * 1e3,
+                rdc.completion_max_s * 1e3,
+                static_cast<unsigned long long>(rdc.timeouts),
+                rdt.completion_mean_s * 1e3, rdt.completion_p99_s * 1e3,
+                rdt.completion_max_s * 1e3,
+                static_cast<unsigned long long>(rdt.timeouts));
+    ++total_points;
+    dt_fewer_timeouts += rdt.timeouts <= rdc.timeouts ? 1 : 0;
+    std::fflush(stdout);
+  }
+  std::printf("\nDT-DCTCP suffered <= DCTCP's timeouts at %zu of %zu "
+              "points\n",
+              dt_fewer_timeouts, total_points);
+
+  bench::expectation(
+      "Completion time floor ~10 ms (1 MB at 1 Gbps). Past the Incast "
+      "boundary the mean bursts ~20x (200 ms min-RTO). The paper reports "
+      "DCTCP oscillating from 34 flows and DT-DCTCP degrading smoothly "
+      "until 42; in our reproduction both protocols' means alternate "
+      "bimodally in that band (tail-loss RTOs are all-or-nothing per "
+      "query), and the robust DT advantage is the consistently lower "
+      "timeout count (DT_to vs DC_to) — see EXPERIMENTS.md.");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Google-benchmark microbenchmarks of the simulator substrate: event
+// scheduling throughput, queue-discipline operations, and end-to-end
+// packets-per-second through the dumbbell. These bound the cost of the
+// figure harnesses and catch performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "core/dumbbell.h"
+#include "queue/drop_tail.h"
+#include "queue/ecn_hysteresis.h"
+#include "queue/ecn_threshold.h"
+#include "sim/simulator.h"
+
+using namespace dtdctcp;
+
+namespace {
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    long long sink = 0;
+    for (int i = 0; i < batch; ++i) {
+      s.at(static_cast<double>(i % 97), [&sink] { ++sink; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+  queue::DropTailQueue q(0, 0);
+  sim::Packet p;
+  p.size_bytes = 1500;
+  for (auto _ : state) {
+    q.enqueue(p, 0.0);
+    benchmark::DoNotOptimize(q.dequeue(0.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+void BM_EcnThresholdEnqueueDequeue(benchmark::State& state) {
+  queue::EcnThresholdQueue q(0, 0, 40.0, queue::ThresholdUnit::kPackets);
+  sim::Packet p;
+  p.size_bytes = 1500;
+  p.ect = true;
+  for (auto _ : state) {
+    q.enqueue(p, 0.0);
+    benchmark::DoNotOptimize(q.dequeue(0.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EcnThresholdEnqueueDequeue);
+
+void BM_EcnHysteresisEnqueueDequeue(benchmark::State& state) {
+  queue::EcnHysteresisQueue q(0, 0, 30.0, 50.0,
+                              queue::ThresholdUnit::kPackets);
+  sim::Packet p;
+  p.size_bytes = 1500;
+  p.ect = true;
+  for (auto _ : state) {
+    q.enqueue(p, 0.0);
+    benchmark::DoNotOptimize(q.dequeue(0.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EcnHysteresisEnqueueDequeue);
+
+void BM_DumbbellEndToEnd(benchmark::State& state) {
+  // Packets simulated per wall second through the full stack.
+  const std::size_t flows = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    core::DumbbellConfig cfg;
+    cfg.flows = flows;
+    cfg.bottleneck_bps = units::gbps(10);
+    cfg.rtt = units::microseconds(100);
+    cfg.switch_buffer_packets = 100;
+    cfg.warmup = 0.005;
+    cfg.measure = 0.02;
+    const auto r = core::run_dumbbell(cfg);
+    events += r.events;
+    benchmark::DoNotOptimize(r.queue_mean);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DumbbellEndToEnd)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// The N-flow dumbbell sweep shared by the Fig. 10 / 11 / 12 harnesses.
+//
+// Configuration mirrors the paper's §VI-A simulation: N long-lived
+// flows, one 10 Gbps bottleneck, 100 us propagation RTT, K = 40 packets
+// (DCTCP) vs K1 = 30 / K2 = 50 (DT-DCTCP), g = 1/16, all flows starting
+// together. One documented addition: the switch port buffer is finite
+// (100 packets = 150 KB); the paper does not state its ns-2 buffer
+// size, and with an infinite buffer the system settles into a static
+// congested equilibrium instead of the oscillation of Fig. 1 (see
+// EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/dumbbell.h"
+
+namespace dtdctcp::bench {
+
+struct SweepPoint {
+  std::size_t flows = 0;
+  core::DumbbellResult dc;       ///< DCTCP, K = 40
+  core::DumbbellResult dt;       ///< DT-DCTCP, hysteresis loop (kTrendPeak)
+  core::DumbbellResult dt_band;  ///< DT-DCTCP, half-band reading
+};
+
+inline core::DumbbellConfig sweep_config(std::size_t flows, bool dt) {
+  core::DumbbellConfig cfg;
+  cfg.flows = flows;
+  cfg.bottleneck_bps = units::gbps(10);
+  cfg.edge_bps = units::gbps(10);
+  cfg.rtt = units::microseconds(100);
+  cfg.marking = dt ? core::MarkingConfig::dt_dctcp(30.0, 50.0)
+                   : core::MarkingConfig::dctcp(40.0);
+  cfg.tcp.mode = tcp::CcMode::kDctcp;
+  cfg.tcp.dctcp_g = 1.0 / 16.0;
+  cfg.switch_buffer_packets = 100;
+  cfg.start_spread = units::microseconds(100);
+  cfg.warmup = scaled(0.1, 0.02);
+  cfg.measure = scaled(0.3, 0.05);
+  return cfg;
+}
+
+/// Runs the paper's N = 10..100 step 5 sweep: DCTCP plus both DT-DCTCP
+/// packet-level readings (the loop of Fig. 2b and the half-band
+/// interpretation — see queue/ecn_hysteresis.h and EXPERIMENTS.md).
+inline std::vector<SweepPoint> run_flow_sweep() {
+  std::vector<SweepPoint> points;
+  for (std::size_t n = 10; n <= 100; n += 5) {
+    SweepPoint pt;
+    pt.flows = n;
+    pt.dc = core::run_dumbbell(sweep_config(n, /*dt=*/false));
+    pt.dt = core::run_dumbbell(sweep_config(n, /*dt=*/true));
+    auto band = sweep_config(n, /*dt=*/true);
+    band.marking = core::MarkingConfig::dt_dctcp(
+        30.0, 50.0, queue::ThresholdUnit::kPackets,
+        queue::HysteresisVariant::kHalfBand);
+    pt.dt_band = core::run_dumbbell(band);
+    points.push_back(pt);
+    std::fprintf(stderr, "  [sweep] N=%zu done\n", n);
+  }
+  return points;
+}
+
+}  // namespace dtdctcp::bench

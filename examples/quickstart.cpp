@@ -1,0 +1,38 @@
+// Quickstart: run DCTCP and DT-DCTCP over one bottleneck and compare
+// queue behaviour — the library's 20-line "hello world".
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/dtdctcp.h"
+
+using namespace dtdctcp;
+
+int main() {
+  std::printf("DT-DCTCP quickstart: 30 flows, 10 Gbps bottleneck, "
+              "100 us RTT\n\n");
+
+  for (const bool use_dt : {false, true}) {
+    core::DumbbellConfig cfg;
+    cfg.flows = 30;
+    cfg.bottleneck_bps = units::gbps(10);
+    cfg.rtt = units::microseconds(100);
+    cfg.switch_buffer_packets = 100;
+    cfg.marking = use_dt ? core::MarkingConfig::dt_dctcp(30.0, 50.0)
+                         : core::MarkingConfig::dctcp(40.0);
+    cfg.warmup = 0.05;
+    cfg.measure = 0.2;
+
+    const core::DumbbellResult r = core::run_dumbbell(cfg);
+    std::printf("%-9s queue %5.1f +/- %4.1f pkts (range %.0f..%.0f)  "
+                "alpha %.2f  utilization %.1f%%  marks %llu\n",
+                use_dt ? "DT-DCTCP" : "DCTCP", r.queue_mean, r.queue_stddev,
+                r.queue_min, r.queue_max, r.alpha_mean, 100.0 * r.utilization,
+                static_cast<unsigned long long>(r.marks));
+  }
+
+  std::printf("\nBoth saturate the link; the double threshold trades a "
+              "slightly different operating point for a steadier queue "
+              "as flow counts grow (run bench/fig11_queue_stddev).\n");
+  return 0;
+}

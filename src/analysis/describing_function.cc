@@ -1,0 +1,108 @@
+#include "analysis/describing_function.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dtdctcp::analysis {
+
+Complex df_dctcp(double amplitude, double k) {
+  assert(amplitude >= k && "DF of the relay is defined for X >= K");
+  const double ratio = k / amplitude;
+  const double b1 = 2.0 / M_PI * std::sqrt(1.0 - ratio * ratio);
+  return Complex(b1 / amplitude, 0.0);
+}
+
+Complex df_dtdctcp(double amplitude, double k1, double k2) {
+  assert(k1 <= k2);
+  assert(amplitude >= k2 && "DF of the hysteresis is defined for X >= K2");
+  const double r1 = k1 / amplitude;
+  const double r2 = k2 / amplitude;
+  const double b1 =
+      (std::sqrt(1.0 - r1 * r1) + std::sqrt(1.0 - r2 * r2)) / M_PI;
+  const double a1 = (k2 - k1) / (M_PI * amplitude);
+  return Complex(b1 / amplitude, a1 / amplitude);
+}
+
+double characteristic_gain(const fluid::MarkingSpec& spec) {
+  // K0 = 1/K for the relay (Eq. 19), 1/K2 for the hysteresis (Eq. 24).
+  return 1.0 / spec.k_stop;
+}
+
+Complex relative_df(const fluid::MarkingSpec& spec, double amplitude) {
+  const Complex n = spec.is_hysteresis
+                        ? df_dtdctcp(amplitude, spec.k_start, spec.k_stop)
+                        : df_dctcp(amplitude, spec.k_start);
+  return n / characteristic_gain(spec);
+}
+
+Complex neg_recip_relative_df(const fluid::MarkingSpec& spec,
+                              double amplitude) {
+  return -1.0 / relative_df(spec, amplitude);
+}
+
+double max_real_neg_recip(const fluid::MarkingSpec& spec, double x_min,
+                          double x_max, double* arg_x) {
+  // -1/N0 is smooth in X; golden-section on Re is enough (the relay's
+  // maximum is the known -pi at X = K*sqrt(2), used by the tests).
+  constexpr int kScan = 2000;
+  double best = -1e300;
+  double best_x = x_min;
+  for (int i = 0; i <= kScan; ++i) {
+    const double x =
+        x_min * std::pow(x_max / x_min, static_cast<double>(i) / kScan);
+    const double re = neg_recip_relative_df(spec, x).real();
+    if (re > best) {
+      best = re;
+      best_x = x;
+    }
+  }
+  // Local refinement around the best grid point.
+  double lo = best_x / 1.05;
+  double hi = best_x * 1.05;
+  if (lo < x_min) lo = x_min;
+  if (hi > x_max) hi = x_max;
+  for (int it = 0; it < 200; ++it) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (neg_recip_relative_df(spec, m1).real() <
+        neg_recip_relative_df(spec, m2).real()) {
+      lo = m1;
+    } else {
+      hi = m2;
+    }
+  }
+  best_x = 0.5 * (lo + hi);
+  best = neg_recip_relative_df(spec, best_x).real();
+  if (arg_x != nullptr) *arg_x = best_x;
+  return best;
+}
+
+Complex numeric_df(const fluid::MarkingSpec& spec, double amplitude,
+                   double bias, int samples_per_cycle) {
+  // Continuous-limit trend margin: the sine is noiseless, so the
+  // automaton only needs an infinitesimal hysteresis in its peak/trough
+  // detection (the packet queue uses a coarser margin to reject
+  // enqueue/dequeue jitter; that margin would shift the K2 release on
+  // swings that barely clear K2 and is not part of the closed forms).
+  fluid::MarkingAutomaton automaton(spec, 1e-9 * amplitude + 1e-12);
+  automaton.reset(bias - amplitude);  // start at the trough, not marking
+  const double dphi = 2.0 * M_PI / samples_per_cycle;
+
+  // One warmup cycle settles the hysteresis state, then integrate.
+  for (int i = 0; i < samples_per_cycle; ++i) {
+    automaton.update(bias + amplitude * std::sin(dphi * i));
+  }
+  double a1 = 0.0;
+  double b1 = 0.0;
+  for (int i = 0; i < samples_per_cycle; ++i) {
+    const double phi = dphi * i;
+    const double y = automaton.update(bias + amplitude * std::sin(phi));
+    a1 += y * std::cos(phi) * dphi;
+    b1 += y * std::sin(phi) * dphi;
+  }
+  a1 /= M_PI;
+  b1 /= M_PI;
+  return Complex(b1 / amplitude, a1 / amplitude);
+}
+
+}  // namespace dtdctcp::analysis

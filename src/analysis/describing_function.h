@@ -1,0 +1,61 @@
+// Describing functions of the marking nonlinearities (paper Eq. 20-28).
+//
+// DCTCP relay (X >= K):
+//   N_dc(X)  = 2/(pi X) * sqrt(1 - (K/X)^2)                       (Eq. 22)
+//   N0_dc(X) = K * N_dc(X)  with characteristic gain K0 = 1/K     (Eq. 23)
+//
+// DT-DCTCP hysteresis (X >= K2 >= K1):
+//   N_dt(X)  = 1/(pi X) [sqrt(1-(K1/X)^2) + sqrt(1-(K2/X)^2)]
+//              + j (K2-K1)/(pi X^2)                               (Eq. 27)
+//   N0_dt(X) = K2 * N_dt(X) with K0 = 1/K2                        (Eq. 28)
+//
+// The positive imaginary part of N_dt is the phase *lead* introduced by
+// starting the marking early and stopping it early; it pushes -1/N0dt
+// away from the plant locus, which is the paper's stability argument.
+//
+// `numeric_df` computes the same quantity by direct Fourier quadrature
+// of the stateful nonlinearity driven by a sinusoid; the tests use it to
+// validate the closed forms (and it covers regimes the closed forms
+// exclude).
+#pragma once
+
+#include <complex>
+
+#include "fluid/marking.h"
+
+namespace dtdctcp::analysis {
+
+using Complex = std::complex<double>;
+
+/// Closed-form DF of DCTCP's relay; X must be >= K.
+Complex df_dctcp(double amplitude, double k);
+
+/// Closed-form DF of DT-DCTCP's hysteresis; X must be >= K2.
+Complex df_dtdctcp(double amplitude, double k1, double k2);
+
+/// Relative DF N0(X) = K0^-1 * N(X) (Eq. 8) for either rule.
+Complex relative_df(const fluid::MarkingSpec& spec, double amplitude);
+
+/// Characteristic gain K0 (1/K for DCTCP, 1/K2 for DT-DCTCP).
+double characteristic_gain(const fluid::MarkingSpec& spec);
+
+/// -1/N0(X); the locus compared against K0*G(jw).
+Complex neg_recip_relative_df(const fluid::MarkingSpec& spec,
+                              double amplitude);
+
+/// Largest real part attained by -1/N0(X) over X in [X_min, X_max]
+/// (paper: max(-1/N0dc) = -pi at X = K*sqrt(2)). Returns the argmax
+/// through `arg_x` when non-null.
+double max_real_neg_recip(const fluid::MarkingSpec& spec, double x_min,
+                          double x_max, double* arg_x = nullptr);
+
+/// DF of the nonlinearity computed numerically: drive
+/// y(t) = rule(bias + X sin(wt)) for a warmup cycle, then integrate the
+/// fundamental Fourier coefficients of y over one cycle (the DC term is
+/// orthogonal to the fundamental and drops out). The paper's closed
+/// forms measure thresholds from the sine's center, i.e. bias = 0;
+/// non-zero bias explores the regimes the closed forms exclude.
+Complex numeric_df(const fluid::MarkingSpec& spec, double amplitude,
+                   double bias, int samples_per_cycle = 20000);
+
+}  // namespace dtdctcp::analysis

@@ -1,0 +1,62 @@
+#include "analysis/margins.h"
+
+#include <cmath>
+
+namespace dtdctcp::analysis {
+
+Margins stability_margins(const PlantParams& plant,
+                          const fluid::MarkingSpec& marking, double w_lo,
+                          double w_hi) {
+  Margins m;
+  const double k0 = characteristic_gain(marking);
+  const double bound = marking.k_stop * (1.0 + 1e-9);
+  m.critical_level = std::abs(
+      max_real_neg_recip(marking, bound, bound * 200.0));
+
+  // Gain margin at the first -180 degree crossing.
+  double crossings[4];
+  const int n = phase_crossings(plant, w_lo, w_hi, crossings, 4);
+  if (n > 0) {
+    m.phase_crossing_w = crossings[0];
+    const double mag = std::abs(k0 * plant_response(plant, crossings[0]));
+    m.gain_margin = mag > 0.0 ? m.critical_level / mag : 1e9;
+    m.gain_margin_db = 20.0 * std::log10(m.gain_margin);
+  } else {
+    m.gain_margin = 1e9;
+    m.gain_margin_db = 180.0;
+  }
+
+  // Phase margin: find where |K0*G| crosses the critical level
+  // (downward, scanning up in frequency) and measure the headroom to
+  // -180 degrees there.
+  constexpr int kSamples = 4000;
+  double prev_w = w_lo;
+  double prev_mag = std::abs(k0 * plant_response(plant, w_lo));
+  for (int i = 1; i <= kSamples; ++i) {
+    const double w =
+        w_lo * std::pow(w_hi / w_lo, static_cast<double>(i) / kSamples);
+    const double mag = std::abs(k0 * plant_response(plant, w));
+    if (prev_mag >= m.critical_level && mag < m.critical_level) {
+      // Bisect the crossing.
+      double lo = prev_w;
+      double hi = w;
+      for (int it = 0; it < 60; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (std::abs(k0 * plant_response(plant, mid)) >= m.critical_level) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      const double wc = 0.5 * (lo + hi);
+      const double phase = std::arg(plant_response(plant, wc));
+      m.phase_margin_deg = (phase + M_PI) * 180.0 / M_PI;
+      break;
+    }
+    prev_w = w;
+    prev_mag = mag;
+  }
+  return m;
+}
+
+}  // namespace dtdctcp::analysis

@@ -1,0 +1,33 @@
+// Classical stability margins of the DF loop.
+//
+// For the relay (DCTCP) the critical locus -1/N0 occupies the real-axis
+// ray (-inf, -pi], so the usual Nyquist margins generalize naturally:
+//   * gain margin   — how much loop gain the system tolerates before
+//     K0*G(jw) reaches -pi at its phase crossing: pi / |Re K0*G(jw_pc)|;
+//   * phase margin  — extra phase lag tolerated where |K0*G| = pi.
+// For the hysteresis the same numbers are computed against the
+// rightmost point of its -1/N0 locus (a conservative scalar summary;
+// the full 2-D test lives in nyquist.h).
+#pragma once
+
+#include "analysis/describing_function.h"
+#include "analysis/transfer_function.h"
+#include "fluid/marking.h"
+
+namespace dtdctcp::analysis {
+
+struct Margins {
+  double gain_margin = 0.0;      ///< multiplicative; > 1 means stable
+  double gain_margin_db = 0.0;
+  double phase_margin_deg = 0.0; ///< at the critical-magnitude crossing;
+                                 ///< NaN-free: 0 when never reached
+  double phase_crossing_w = 0.0; ///< rad/s of the -180 deg crossing
+  double critical_level = 0.0;   ///< |max Re(-1/N0)|, pi for the relay
+};
+
+/// Computes the margins of plant+marking over [w_lo, w_hi].
+Margins stability_margins(const PlantParams& plant,
+                          const fluid::MarkingSpec& marking,
+                          double w_lo = 1.0, double w_hi = 1e7);
+
+}  // namespace dtdctcp::analysis

@@ -1,0 +1,192 @@
+#include "analysis/nyquist.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtdctcp::analysis {
+
+namespace {
+
+double df_validity_bound(const fluid::MarkingSpec& spec) {
+  // The closed forms require X >= K (relay) or X >= K2 (hysteresis).
+  return spec.k_stop;
+}
+
+Complex residual(const PlantParams& plant, const fluid::MarkingSpec& spec,
+                 double x, double w) {
+  const double k0 = characteristic_gain(spec);
+  return k0 * plant_response(plant, w) +
+         1.0 / relative_df(spec, x);
+}
+
+/// Damped 2-D Newton on (X, w) with a finite-difference Jacobian.
+bool newton_refine(const PlantParams& plant, const fluid::MarkingSpec& spec,
+                   double& x, double& w, double x_min, double tol) {
+  for (int it = 0; it < 100; ++it) {
+    const Complex f = residual(plant, spec, x, w);
+    const double err = std::abs(f);
+    if (err < tol) return true;
+    const double hx = std::max(1e-9, 1e-7 * x);
+    const double hw = std::max(1e-9, 1e-7 * w);
+    const Complex fx = (residual(plant, spec, x + hx, w) - f) / hx;
+    const Complex fw = (residual(plant, spec, x, w + hw) - f) / hw;
+    // Solve [Re fx Re fw; Im fx Im fw] * [dx dw]' = -[Re f; Im f].
+    const double det = fx.real() * fw.imag() - fw.real() * fx.imag();
+    if (std::abs(det) < 1e-30) return false;
+    double dx = (-f.real() * fw.imag() + fw.real() * f.imag()) / det;
+    double dw = (-fx.real() * f.imag() + f.real() * fx.imag()) / det;
+    // Damp steps that would leave the domain.
+    double scale = 1.0;
+    while (scale > 1e-6 &&
+           (x + scale * dx <= x_min || w + scale * dw <= 0.0)) {
+      scale *= 0.5;
+    }
+    if (scale <= 1e-6) return false;
+    x += scale * dx;
+    w += scale * dw;
+  }
+  return std::abs(residual(plant, spec, x, w)) < tol;
+}
+
+}  // namespace
+
+StabilityReport analyze(const PlantParams& plant,
+                        const fluid::MarkingSpec& marking,
+                        const SolverOptions& opt) {
+  StabilityReport report;
+  const double x_min = df_validity_bound(marking) * (1.0 + 1e-9);
+  const double x_max = df_validity_bound(marking) * opt.x_max_factor;
+
+  report.max_real_neg_recip =
+      max_real_neg_recip(marking, x_min, x_max);
+
+  // Negative-real-axis crossing of the plant locus (diagnostic; exact
+  // stability test for the relay whose -1/N0 lies on the real axis).
+  double crossings[4] = {0, 0, 0, 0};
+  const int ncross =
+      phase_crossings(plant, opt.w_lo, opt.w_hi, crossings, 4);
+  if (ncross > 0) {
+    report.crossing_omega = crossings[0];
+    report.crossing_real =
+        (characteristic_gain(marking) * plant_response(plant, crossings[0]))
+            .real();
+  }
+
+  // Seed grid for the 2-D root finder.
+  constexpr int kXSeeds = 24;
+  constexpr int kWSeeds = 24;
+  struct Seed {
+    double x, w, err;
+  };
+  std::vector<Seed> seeds;
+  seeds.reserve(kXSeeds * (kWSeeds + ncross * 8));
+
+  auto push_seed = [&](double x, double w) {
+    const double err = std::abs(residual(plant, marking, x, w));
+    seeds.push_back({x, w, err});
+  };
+
+  double min_dist = 1e300;
+  for (int i = 0; i < kXSeeds; ++i) {
+    const double x =
+        x_min * std::pow(x_max / x_min, static_cast<double>(i) / (kXSeeds - 1));
+    for (int j = 0; j < kWSeeds; ++j) {
+      const double w = opt.w_lo * std::pow(opt.w_hi / opt.w_lo,
+                                           static_cast<double>(j) /
+                                               (kWSeeds - 1));
+      push_seed(x, w);
+      min_dist = std::min(min_dist, seeds.back().err);
+    }
+    // Extra seeds clustered at the phase crossings, where intersections
+    // with the (near-real-axis) DF locus actually occur.
+    for (int c = 0; c < ncross; ++c) {
+      for (double f : {0.7, 0.85, 1.0, 1.15, 1.3}) {
+        push_seed(x, crossings[c] * f);
+        min_dist = std::min(min_dist, seeds.back().err);
+      }
+    }
+  }
+  report.min_locus_distance = min_dist;
+
+  std::sort(seeds.begin(), seeds.end(),
+            [](const Seed& a, const Seed& b) { return a.err < b.err; });
+
+  const double tol = opt.tolerance;
+  std::vector<LimitCycle> roots;
+  const std::size_t tries = std::min<std::size_t>(seeds.size(), 40);
+  for (std::size_t i = 0; i < tries; ++i) {
+    double x = seeds[i].x;
+    double w = seeds[i].w;
+    if (!newton_refine(plant, marking, x, w, x_min, tol)) continue;
+    if (x < x_min || x > x_max * 10.0 || w <= 0.0) continue;
+    bool dup = false;
+    for (const auto& r : roots) {
+      if (std::abs(r.amplitude - x) < 1e-4 * x &&
+          std::abs(r.omega - w) < 1e-4 * w) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    LimitCycle lc;
+    lc.amplitude = x;
+    lc.omega = w;
+    lc.residual = std::abs(residual(plant, marking, x, w));
+    roots.push_back(lc);
+  }
+
+  std::sort(roots.begin(), roots.end(),
+            [](const LimitCycle& a, const LimitCycle& b) {
+              return a.amplitude < b.amplitude;
+            });
+  // Per the paper's Nyquist reading: with two intersections the
+  // smaller-amplitude cycle is unstable, the larger one sustained. A
+  // single intersection is the sustained cycle.
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    roots[i].stable = (i + 1 == roots.size());
+  }
+  report.cycles = std::move(roots);
+  report.intersects = !report.cycles.empty();
+  return report;
+}
+
+int critical_flows(PlantParams plant, const fluid::MarkingSpec& marking,
+                   int n_lo, int n_hi, const SolverOptions& opt) {
+  for (int n = n_lo; n <= n_hi; ++n) {
+    plant.flows = static_cast<double>(n);
+    if (analyze(plant, marking, opt).intersects) return n;
+  }
+  return -1;
+}
+
+std::vector<std::pair<double, Complex>> sample_plant_locus(
+    const PlantParams& plant, const fluid::MarkingSpec& marking, double w_lo,
+    double w_hi, int count) {
+  std::vector<std::pair<double, Complex>> out;
+  out.reserve(count);
+  const double k0 = characteristic_gain(marking);
+  for (int i = 0; i < count; ++i) {
+    const double w =
+        w_lo * std::pow(w_hi / w_lo,
+                        static_cast<double>(i) / std::max(1, count - 1));
+    out.emplace_back(w, k0 * plant_response(plant, w));
+  }
+  return out;
+}
+
+std::vector<std::pair<double, Complex>> sample_df_locus(
+    const fluid::MarkingSpec& marking, double x_max_factor, int count) {
+  std::vector<std::pair<double, Complex>> out;
+  out.reserve(count);
+  const double x_min = df_validity_bound(marking) * (1.0 + 1e-6);
+  const double x_max = df_validity_bound(marking) * x_max_factor;
+  for (int i = 0; i < count; ++i) {
+    const double x =
+        x_min * std::pow(x_max / x_min,
+                         static_cast<double>(i) / std::max(1, count - 1));
+    out.emplace_back(x, neg_recip_relative_df(marking, x));
+  }
+  return out;
+}
+
+}  // namespace dtdctcp::analysis

@@ -1,0 +1,65 @@
+// Limit-cycle prediction via the describing-function method
+// (paper Theorems 1 and 2).
+//
+// The characteristic equation K0*G(jw) = -1/N0(X) is solved for
+// (amplitude X, frequency w). No solution with X in the DF's validity
+// region means the queue is predicted stable; solutions are predicted
+// limit cycles. Following the paper's reading of the Nyquist picture,
+// when two cycles exist the smaller-amplitude one is unstable and the
+// larger is the sustained (stable) oscillation.
+#pragma once
+
+#include <vector>
+
+#include "analysis/describing_function.h"
+#include "analysis/transfer_function.h"
+#include "fluid/marking.h"
+
+namespace dtdctcp::analysis {
+
+struct LimitCycle {
+  double amplitude = 0.0;  ///< X, packets
+  double omega = 0.0;      ///< rad/s
+  double residual = 0.0;   ///< |K0 G(jw) + 1/N0(X)| at the root
+  bool stable = false;     ///< predicted sustained oscillation
+};
+
+struct StabilityReport {
+  bool intersects = false;          ///< limit cycle predicted
+  std::vector<LimitCycle> cycles;   ///< sorted by amplitude
+  double max_real_neg_recip = 0.0;  ///< rightmost point of -1/N0 locus
+  double crossing_real = 0.0;       ///< Re K0*G at the first -180 crossing
+  double crossing_omega = 0.0;      ///< and its frequency (0 if none)
+  double min_locus_distance = 0.0;  ///< grid distance between the loci
+};
+
+struct SolverOptions {
+  double x_max_factor = 200.0;  ///< search X in [X_valid, factor * K]
+  double w_lo = 1.0;            ///< rad/s search band
+  double w_hi = 1e7;
+  double tolerance = 1e-9;
+};
+
+/// Full DF stability analysis of the marking rule against the plant.
+StabilityReport analyze(const PlantParams& plant,
+                        const fluid::MarkingSpec& marking,
+                        const SolverOptions& opt = {});
+
+/// Smallest integer flow count in [n_lo, n_hi] for which a limit cycle
+/// is predicted; -1 when none intersects in the range. `plant.flows` is
+/// overridden during the scan.
+int critical_flows(PlantParams plant, const fluid::MarkingSpec& marking,
+                   int n_lo, int n_hi, const SolverOptions& opt = {});
+
+/// Samples K0*G(jw) at `count` log-spaced frequencies (for Nyquist
+/// plots / Fig. 9 output).
+std::vector<std::pair<double, Complex>> sample_plant_locus(
+    const PlantParams& plant, const fluid::MarkingSpec& marking, double w_lo,
+    double w_hi, int count);
+
+/// Samples -1/N0(X) at `count` log-spaced amplitudes starting just above
+/// the DF validity bound.
+std::vector<std::pair<double, Complex>> sample_df_locus(
+    const fluid::MarkingSpec& marking, double x_max_factor, int count);
+
+}  // namespace dtdctcp::analysis

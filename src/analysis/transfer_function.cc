@@ -1,0 +1,88 @@
+#include "analysis/transfer_function.h"
+
+#include <cmath>
+
+namespace dtdctcp::analysis {
+
+Complex plant_rational(const PlantParams& p, Complex s) {
+  const double r = p.rtt;
+  const double inv_r = 1.0 / r;
+  const double gain = std::sqrt(p.capacity_pps / (2.0 * p.flows * r));
+  const double zero = 2.0 * p.g * inv_r;
+  const double pole_alpha = p.g * inv_r;
+  const double pole_w = p.flows / (r * r * p.capacity_pps);
+  const double pole_q = inv_r;
+
+  return gain * (s + zero) * (p.flows * inv_r) /
+         ((s + pole_alpha) * (s + pole_w) * (s + pole_q));
+}
+
+Complex plant_response(const PlantParams& p, double w) {
+  const Complex s(0.0, w);
+  const Complex delay = std::exp(Complex(0.0, -w * p.rtt));
+  return plant_rational(p, s) * delay;
+}
+
+namespace {
+
+/// Continuous phase-minus(-pi) test function: positive while the locus
+/// is above -180deg. Uses unwrapped phase accumulated analytically:
+/// phase = atan2 terms of each factor minus w*R0 (exact, no wrapping).
+double phase_rel_pi(const PlantParams& p, double w) {
+  const double r = p.rtt;
+  const double inv_r = 1.0 / r;
+  const double zero = 2.0 * p.g * inv_r;
+  const double pole_alpha = p.g * inv_r;
+  const double pole_w = p.flows / (r * r * p.capacity_pps);
+  const double pole_q = inv_r;
+  const double phase = std::atan2(w, zero) - std::atan2(w, pole_alpha) -
+                       std::atan2(w, pole_w) - std::atan2(w, pole_q) -
+                       w * r;
+  return phase + M_PI;  // crossing when this hits zero going down
+}
+
+}  // namespace
+
+int phase_crossings(const PlantParams& p, double w_lo, double w_hi,
+                    double* out, int max_roots) {
+  // The unwrapped phase is monotone-ish but the delay term makes it cross
+  // -180deg repeatedly; scan log-spaced, bisect each sign change of
+  // (phase + pi + 2*pi*k) for the k values encountered.
+  constexpr int kSamples = 4000;
+  int found = 0;
+  double prev_w = w_lo;
+  double prev_v = phase_rel_pi(p, w_lo);
+  // Track crossings of phase == -pi - 2*pi*k for k = 0, 1, ... by
+  // checking each branch value.
+  for (int i = 1; i <= kSamples && found < max_roots; ++i) {
+    const double frac = static_cast<double>(i) / kSamples;
+    const double w = w_lo * std::pow(w_hi / w_lo, frac);
+    const double v = phase_rel_pi(p, w);
+    // Which -pi-2*pi*k levels lie between prev_v and v?
+    for (int k = 0; found < max_roots; ++k) {
+      const double level = -2.0 * M_PI * static_cast<double>(k);
+      const bool between = (prev_v - level) * (v - level) < 0.0;
+      if (!between) {
+        if (level < std::min(prev_v, v)) break;
+        continue;
+      }
+      double lo = prev_w;
+      double hi = w;
+      for (int it = 0; it < 80; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if ((phase_rel_pi(p, mid) - level) * (phase_rel_pi(p, lo) - level) <=
+            0.0) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      out[found++] = 0.5 * (lo + hi);
+    }
+    prev_w = w;
+    prev_v = v;
+  }
+  return found;
+}
+
+}  // namespace dtdctcp::analysis

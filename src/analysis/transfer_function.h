@@ -1,0 +1,40 @@
+// Linearized DCTCP plant transfer function (paper Eq. 13-18).
+//
+// The fluid model linearized around the operating point gives a plant
+//
+//             sqrt(C/(2 N R0)) * (2g/R0 + s) * (N/R0) * e^{-s R0}
+//   G(s) = -----------------------------------------------------------
+//             (s + g/R0) * (s + N/(R0^2 C)) * (s + 1/R0)
+//
+// (Theorem 1's positive form; the loop's minus sign is carried by the
+// characteristic equation 1 + N(X) G(jw) = 0.)
+#pragma once
+
+#include <complex>
+
+#include "util/units.h"
+
+namespace dtdctcp::analysis {
+
+using Complex = std::complex<double>;
+
+struct PlantParams {
+  double capacity_pps = 833333.0;  ///< C in packets/sec
+  double flows = 10.0;             ///< N
+  double rtt = 1e-4;               ///< R0 in seconds
+  double g = 1.0 / 16.0;           ///< DCTCP EWMA gain
+};
+
+/// Evaluates G(jw) at angular frequency w (rad/s).
+Complex plant_response(const PlantParams& p, double w);
+
+/// Evaluates G(s) without the delay factor (the rational part P(s)).
+Complex plant_rational(const PlantParams& p, Complex s);
+
+/// Finds the angular frequencies in [w_lo, w_hi] where the phase of
+/// K0*G(jw) crosses -180 degrees (negative-real-axis crossings), by
+/// dense scan + bisection. Returns up to `max_roots` crossings.
+int phase_crossings(const PlantParams& p, double w_lo, double w_hi,
+                    double* out, int max_roots);
+
+}  // namespace dtdctcp::analysis

@@ -1,0 +1,47 @@
+// Incast and partition-aggregate experiments on the paper testbed
+// (Figs. 14 and 15).
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.h"
+#include "tcp/config.h"
+#include "workload/incast.h"
+
+namespace dtdctcp::core {
+
+struct IncastExperimentConfig {
+  TestbedConfig testbed{};
+  tcp::TcpConfig tcp{};
+  std::size_t flows = 9;              ///< synchronized workers
+  std::size_t bytes_per_worker = 64 * 1024;  ///< Fig. 14 (Fig. 15 divides 1 MB)
+  std::size_t repetitions = 100;
+  std::uint64_t seed = 7;
+  SimTime request_jitter = 10e-6;
+  workload::IncastConnectionMode mode =
+      workload::IncastConnectionMode::kPersistent;
+};
+
+struct IncastExperimentResult {
+  double goodput_mean_bps = 0.0;  ///< application goodput per query, mean
+  double completion_mean_s = 0.0;
+  double completion_p99_s = 0.0;
+  double completion_max_s = 0.0;
+  double completion_min_s = 0.0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t marks = 0;
+  std::size_t queries = 0;
+};
+
+/// Runs `repetitions` back-to-back synchronized queries of
+/// `bytes_per_worker` from each of `flows` workers to the aggregator.
+IncastExperimentResult run_incast(const IncastExperimentConfig& cfg);
+
+/// The Fig. 15 variant: the aggregator requests 1 MB total, each of the
+/// n workers sends 1 MB / n.
+IncastExperimentResult run_partition_aggregate(IncastExperimentConfig cfg,
+                                               std::size_t total_bytes =
+                                                   1024 * 1024);
+
+}  // namespace dtdctcp::core

@@ -1,0 +1,61 @@
+// Public marking-mechanism configuration — the paper's contribution
+// surface. A MarkingConfig picks DCTCP's single threshold or DT-DCTCP's
+// double threshold and builds the matching switch queue, fluid-model
+// nonlinearity, and describing-function spec.
+#pragma once
+
+#include <cstddef>
+
+#include "fluid/marking.h"
+#include "queue/factory.h"
+
+namespace dtdctcp::core {
+
+struct MarkingConfig {
+  bool double_threshold = false;
+  double start = 40.0;  ///< K (single) or K1 (double), in `unit`
+  double stop = 40.0;   ///< K (single) or K2 (double), in `unit`
+  queue::ThresholdUnit unit = queue::ThresholdUnit::kPackets;
+  queue::HysteresisVariant variant = queue::HysteresisVariant::kTrendPeak;
+
+  /// DCTCP: mark when the instantaneous queue is at least `k`.
+  static MarkingConfig dctcp(double k, queue::ThresholdUnit unit =
+                                           queue::ThresholdUnit::kPackets) {
+    return {false, k, k, unit, queue::HysteresisVariant::kTrendPeak};
+  }
+
+  /// DT-DCTCP: start marking at `k1` (rising), stop at `k2` (falling).
+  static MarkingConfig dt_dctcp(
+      double k1, double k2,
+      queue::ThresholdUnit unit = queue::ThresholdUnit::kPackets,
+      queue::HysteresisVariant variant = queue::HysteresisVariant::kTrendPeak) {
+    return {true, k1, k2, unit, variant};
+  }
+
+  /// Queue-discipline factory for a switch egress port.
+  sim::QueueFactory queue_factory(std::size_t limit_bytes,
+                                  std::size_t limit_packets) const {
+    if (double_threshold) {
+      return queue::ecn_hysteresis(limit_bytes, limit_packets, start, stop,
+                                   unit, variant);
+    }
+    return queue::ecn_threshold(limit_bytes, limit_packets, start, unit);
+  }
+
+  /// The same rule in fluid-model/DF units (packets). `mss` converts
+  /// byte thresholds.
+  fluid::MarkingSpec fluid_spec(std::size_t mss_bytes) const {
+    const double scale = unit == queue::ThresholdUnit::kBytes
+                             ? 1.0 / static_cast<double>(mss_bytes)
+                             : 1.0;
+    if (double_threshold) {
+      return fluid::MarkingSpec::hysteresis(start * scale, stop * scale);
+    }
+    return fluid::MarkingSpec::single(start * scale);
+  }
+
+  /// The queue level the rule centers around (for reporting).
+  double midpoint() const { return 0.5 * (start + stop); }
+};
+
+}  // namespace dtdctcp::core

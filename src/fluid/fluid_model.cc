@@ -1,0 +1,111 @@
+#include "fluid/fluid_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtdctcp::fluid {
+
+FluidState operating_point(const FluidParams& params) {
+  FluidState s;
+  s.w = params.rtt * params.capacity_pps / params.flows;
+  s.alpha = std::sqrt(2.0 / s.w);
+  s.q = params.marking.midpoint();
+  return s;
+}
+
+FluidModel::FluidModel(FluidParams params, double dt)
+    : params_(params),
+      dt_(dt > 0.0 ? dt : params.rtt / 200.0),
+      automaton_(params.marking) {
+  delay_steps_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(params_.rtt / dt_)));
+  history_.assign(delay_steps_, 0.0);
+  state_ = operating_point(params_);
+  automaton_.reset(state_.q);
+  std::fill(history_.begin(), history_.end(), state_.q);
+}
+
+double FluidModel::delayed_q() const {
+  // head_ is the next slot to overwrite == the oldest entry, which is
+  // exactly delay_steps_ steps (one RTT) old.
+  return history_[head_];
+}
+
+void FluidModel::step() {
+  // Marking decision made one RTT ago, advanced in lock-step with the
+  // history ring so the hysteresis automaton sees the delayed q stream.
+  p_ = automaton_.update(delayed_q());
+
+  const double g = params_.g;
+  const double n = params_.flows;
+  const double c = params_.capacity_pps;
+  const double p = p_;
+
+  const auto deriv = [&](const FluidState& s) {
+    const double r = params_.dynamic_rtt
+                         ? params_.rtt + std::max(s.q, 0.0) / c
+                         : params_.rtt;
+    const double inv_r = 1.0 / r;
+    FluidState d;
+    d.w = inv_r - s.w * s.alpha * 0.5 * inv_r * p;
+    if (params_.w_floor > 0.0 && s.w <= params_.w_floor && d.w < 0.0) {
+      d.w = 0.0;  // window floor: real TCP sends at least one MSS per RTT
+    }
+    d.alpha = g * inv_r * (p - s.alpha);
+    d.q = n * s.w * inv_r - c;
+    if (s.q <= 0.0 && d.q < 0.0) d.q = 0.0;  // queue cannot go negative
+    return d;
+  };
+  const auto axpy = [](const FluidState& s, const FluidState& d, double h) {
+    return FluidState{s.w + d.w * h, s.alpha + d.alpha * h, s.q + d.q * h};
+  };
+
+  const FluidState k1 = deriv(state_);
+  const FluidState k2 = deriv(axpy(state_, k1, dt_ / 2.0));
+  const FluidState k3 = deriv(axpy(state_, k2, dt_ / 2.0));
+  const FluidState k4 = deriv(axpy(state_, k3, dt_));
+
+  state_.w += dt_ / 6.0 * (k1.w + 2.0 * k2.w + 2.0 * k3.w + k4.w);
+  state_.alpha += dt_ / 6.0 * (k1.alpha + 2.0 * k2.alpha + 2.0 * k3.alpha + k4.alpha);
+  state_.q += dt_ / 6.0 * (k1.q + 2.0 * k2.q + 2.0 * k3.q + k4.q);
+
+  if (params_.w_floor > 0.0) state_.w = std::max(state_.w, params_.w_floor);
+  state_.q = std::max(state_.q, 0.0);
+  state_.alpha = std::clamp(state_.alpha, 0.0, 1.0);
+
+  history_[head_] = state_.q;
+  head_ = (head_ + 1) % history_.size();
+  time_ += dt_;
+}
+
+void FluidModel::run(double duration, stats::TimeSeries* trace,
+                     double record_every) {
+  const double end = time_ + duration;
+  double next_record = time_;
+  while (time_ < end) {
+    step();
+    if (trace != nullptr && time_ >= next_record) {
+      trace->add(time_, state_.q);
+      next_record += record_every > 0.0 ? record_every : dt_;
+    }
+  }
+}
+
+double oscillation_amplitude(const stats::TimeSeries& trace, double from) {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool any = false;
+  for (const auto& s : trace.samples()) {
+    if (s.time < from) continue;
+    if (!any) {
+      lo = hi = s.value;
+      any = true;
+    } else {
+      lo = std::min(lo, s.value);
+      hi = std::max(hi, s.value);
+    }
+  }
+  return any ? 0.5 * (hi - lo) : 0.0;
+}
+
+}  // namespace dtdctcp::fluid

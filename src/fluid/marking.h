@@ -1,0 +1,85 @@
+// Marking nonlinearities used by the fluid model (and, in closed form,
+// by the describing-function analysis).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+namespace dtdctcp::fluid {
+
+/// Threshold specification, in packets. `single()` is DCTCP's relay
+/// (mark while q >= K); `hysteresis()` is DT-DCTCP (start at k_start
+/// rising; stop when the queue is falling below k_stop, k_start <=
+/// k_stop — see queue::EcnHysteresisQueue for the full semantics).
+struct MarkingSpec {
+  bool is_hysteresis = false;
+  double k_start = 40.0;  ///< K (single) or K1 (hysteresis)
+  double k_stop = 40.0;   ///< K (single) or K2 (hysteresis)
+
+  static MarkingSpec single(double k) { return {false, k, k}; }
+  static MarkingSpec hysteresis(double k1, double k2) {
+    assert(k1 <= k2);
+    return {true, k1, k2};
+  }
+
+  /// Midpoint, the characteristic level the queue hovers around.
+  double midpoint() const { return 0.5 * (k_start + k_stop); }
+};
+
+/// Stateful evaluation of the marking rule along a queue trajectory.
+/// For the single threshold the state is ignored; for hysteresis the
+/// automaton mirrors queue::EcnHysteresisQueue (peak-detection trend).
+class MarkingAutomaton {
+ public:
+  /// `trend_margin` <= 0 selects max(1, (k_stop-k_start)/8); the fluid
+  /// integrator passes a small margin since its trajectory is smooth.
+  explicit MarkingAutomaton(MarkingSpec spec, double trend_margin = 0.0)
+      : spec_(spec),
+        margin_(trend_margin > 0.0
+                    ? trend_margin
+                    : std::max(1.0, (spec.k_stop - spec.k_start) / 8.0)) {}
+
+  /// Feeds the next queue sample; returns p in {0, 1}.
+  double update(double q) {
+    if (!spec_.is_hysteresis) {
+      prev_ = q;
+      return q >= spec_.k_start ? 1.0 : 0.0;
+    }
+    if (!marking_) {
+      trough_ = std::min(trough_, q);
+      const bool rising = q >= trough_ + margin_;
+      const bool crossed_start = prev_ < spec_.k_start && q >= spec_.k_start;
+      if ((crossed_start && rising) || q >= spec_.k_stop) {
+        marking_ = true;
+        peak_ = q;
+      }
+    } else {
+      peak_ = std::max(peak_, q);
+      const bool falling = q <= peak_ - margin_;
+      if ((falling && q < spec_.k_stop) || q < spec_.k_start) {
+        marking_ = false;
+        trough_ = q;
+      }
+    }
+    prev_ = q;
+    return marking_ ? 1.0 : 0.0;
+  }
+
+  bool marking() const { return marking_; }
+  void reset(double q0 = 0.0) {
+    marking_ = false;
+    prev_ = q0;
+    peak_ = q0;
+    trough_ = q0;
+  }
+
+ private:
+  MarkingSpec spec_;
+  double margin_;
+  bool marking_ = false;
+  double prev_ = 0.0;
+  double peak_ = 0.0;
+  double trough_ = 0.0;
+};
+
+}  // namespace dtdctcp::fluid

@@ -1,0 +1,139 @@
+// CoDel (Nichols & Jacobson, CACM 2012) — the modern sojourn-time AQM,
+// included as a baseline for the queue-stability comparisons: where
+// DCTCP regulates via instantaneous occupancy and DT-DCTCP via an
+// occupancy hysteresis, CoDel regulates the time packets spend queued.
+//
+// Standard control law, evaluated at dequeue: once the sojourn time has
+// exceeded `target` continuously for `interval`, the queue enters the
+// dropping state and signals at instants spaced interval/sqrt(count).
+// ECN-capable packets are marked instead of dropped (RFC 8289 §4.2.1);
+// non-ECT packets are dropped and the next packet is examined. The
+// default constants are scaled for datacenter RTTs (the WAN defaults
+// are 5 ms / 100 ms).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "sim/queue_disc.h"
+
+namespace dtdctcp::queue {
+
+struct CodelConfig {
+  SimTime target = 50e-6;     ///< acceptable standing sojourn time
+  SimTime interval = 500e-6;  ///< sliding window to detect persistence
+};
+
+class CodelQueue final : public sim::QueueDisc {
+ public:
+  CodelQueue(std::size_t limit_bytes, std::size_t limit_packets,
+             CodelConfig cfg)
+      : limit_bytes_(limit_bytes), limit_packets_(limit_packets), cfg_(cfg) {}
+
+  sim::EnqueueResult enqueue(sim::Packet& pkt, SimTime now) override {
+    if ((limit_bytes_ != 0 && bytes_ + pkt.size_bytes > limit_bytes_) ||
+        (limit_packets_ != 0 && q_.size() + 1 > limit_packets_)) {
+      count_drop();
+      return sim::EnqueueResult::kDropped;
+    }
+    pkt.enqueue_ts = now;
+    q_.push_back(pkt);
+    bytes_ += pkt.size_bytes;
+    notify(now, q_.size(), bytes_);
+    return sim::EnqueueResult::kEnqueued;
+  }
+
+  std::optional<sim::Packet> dequeue(SimTime now) override {
+    while (!q_.empty()) {
+      sim::Packet pkt = pop(now);
+      const SimTime sojourn = now - pkt.enqueue_ts;
+
+      if (!dropping_) {
+        if (should_signal(sojourn, now)) {
+          dropping_ = true;
+          // Restart the signalling schedule; reuse the recent count if
+          // we were dropping not long ago (CoDel's hysteresis on count).
+          count_ = (count_ > 2 && now - drop_next_ < 8.0 * cfg_.interval)
+                       ? count_ - 2
+                       : 1;
+          drop_next_ = control_law(now);
+          if (!signal(pkt, now)) continue;  // dropped: examine the next
+        }
+        return pkt;
+      }
+
+      // Dropping state.
+      if (sojourn < cfg_.target || q_.empty()) {
+        dropping_ = false;
+        return pkt;
+      }
+      if (now >= drop_next_) {
+        ++count_;
+        drop_next_ = control_law(now);
+        if (!signal(pkt, now)) continue;
+      }
+      return pkt;
+    }
+    first_above_ = 0.0;
+    return std::nullopt;
+  }
+
+  std::size_t packets() const override { return q_.size(); }
+  std::size_t bytes() const override { return bytes_; }
+  bool dropping_state() const { return dropping_; }
+
+ private:
+  sim::Packet pop(SimTime now) {
+    sim::Packet pkt = q_.front();
+    q_.pop_front();
+    bytes_ -= pkt.size_bytes;
+    notify(now, q_.size(), bytes_);
+    return pkt;
+  }
+
+  /// True once sojourn has stayed above target for a full interval.
+  bool should_signal(SimTime sojourn, SimTime now) {
+    if (sojourn < cfg_.target) {
+      first_above_ = 0.0;
+      return false;
+    }
+    if (first_above_ == 0.0) {
+      first_above_ = now + cfg_.interval;
+      return false;
+    }
+    return now >= first_above_;
+  }
+
+  SimTime control_law(SimTime now) const {
+    return now + cfg_.interval / std::sqrt(static_cast<double>(count_));
+  }
+
+  /// Marks ECT packets (returns true: deliver it); drops non-ECT
+  /// (returns false: caller moves on to the next packet).
+  bool signal(sim::Packet& pkt, SimTime now) {
+    if (pkt.ect) {
+      pkt.ce = true;
+      count_mark();
+      return true;
+    }
+    count_drop();
+    (void)now;
+    return false;
+  }
+
+  std::size_t limit_bytes_;
+  std::size_t limit_packets_;
+  CodelConfig cfg_;
+  std::deque<sim::Packet> q_;
+  std::size_t bytes_ = 0;
+
+  // Control-law state.
+  SimTime first_above_ = 0.0;
+  bool dropping_ = false;
+  SimTime drop_next_ = 0.0;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace dtdctcp::queue

@@ -1,0 +1,13 @@
+// Plain drop-tail FIFO (the paper's edge switches, and host NICs).
+#pragma once
+
+#include "queue/fifo_base.h"
+
+namespace dtdctcp::queue {
+
+class DropTailQueue final : public FifoBase {
+ public:
+  using FifoBase::FifoBase;
+};
+
+}  // namespace dtdctcp::queue

@@ -1,0 +1,37 @@
+// Convenience factories producing sim::QueueFactory closures.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "queue/drop_tail.h"
+#include "queue/ecn_hysteresis.h"
+#include "queue/ecn_threshold.h"
+#include "sim/network.h"
+
+namespace dtdctcp::queue {
+
+inline sim::QueueFactory drop_tail(std::size_t limit_bytes,
+                                   std::size_t limit_packets = 0) {
+  return [=] { return std::make_unique<DropTailQueue>(limit_bytes, limit_packets); };
+}
+
+inline sim::QueueFactory ecn_threshold(std::size_t limit_bytes,
+                                       std::size_t limit_packets, double k,
+                                       ThresholdUnit unit) {
+  return [=] {
+    return std::make_unique<EcnThresholdQueue>(limit_bytes, limit_packets, k, unit);
+  };
+}
+
+inline sim::QueueFactory ecn_hysteresis(
+    std::size_t limit_bytes, std::size_t limit_packets, double k_start,
+    double k_stop, ThresholdUnit unit,
+    HysteresisVariant variant = HysteresisVariant::kTrendPeak) {
+  return [=] {
+    return std::make_unique<EcnHysteresisQueue>(limit_bytes, limit_packets,
+                                                k_start, k_stop, unit, variant);
+  };
+}
+
+}  // namespace dtdctcp::queue

@@ -1,0 +1,134 @@
+// Shared FIFO machinery for all queue disciplines.
+//
+// Concrete disciplines override the admission hook (to ECN-mark) and the
+// occupancy hook (to run marking state machines). Thresholds can be
+// expressed in packets (the paper's simulations: K = 40 packets) or in
+// bytes (the paper's testbed: K = 32 KB), selected by ThresholdUnit.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "sim/queue_disc.h"
+#include "sim/shared_buffer.h"
+
+namespace dtdctcp::queue {
+
+enum class ThresholdUnit { kPackets, kBytes };
+
+class FifoBase : public sim::QueueDisc {
+ public:
+  /// `limit_bytes` / `limit_packets`: buffer capacity; 0 means unlimited
+  /// in that unit. A packet is dropped when admitting it would exceed
+  /// either configured limit.
+  FifoBase(std::size_t limit_bytes, std::size_t limit_packets)
+      : limit_bytes_(limit_bytes), limit_packets_(limit_packets) {}
+
+  sim::EnqueueResult enqueue(sim::Packet& pkt, SimTime now) final {
+    if (would_overflow(pkt)) {
+      count_drop();
+      trace("drop", pkt, now);
+      return sim::EnqueueResult::kDropped;
+    }
+    const bool ce_on_arrival = pkt.ce;
+    if (!before_admit(pkt, now)) {  // early drop (RED in drop mode)
+      count_drop();
+      trace("drop", pkt, now);
+      return sim::EnqueueResult::kDropped;
+    }
+    if (pool_ != nullptr && !pool_->try_reserve(pkt.size_bytes)) {
+      // Shared switch memory exhausted by this and/or other ports.
+      count_drop();
+      trace("drop", pkt, now);
+      return sim::EnqueueResult::kDropped;
+    }
+    q_.push_back(pkt);
+    bytes_ += pkt.size_bytes;
+    on_occupancy_change(now, /*grew=*/true);
+    // The marking state machine may decide the packet (now at the tail)
+    // should carry CE; let the discipline finalize it.
+    after_admit(q_.back(), now);
+    pkt.ce = q_.back().ce;  // keep caller's view consistent (unused by port)
+    if (!ce_on_arrival && pkt.ce) trace("mark", pkt, now);
+    trace("enq", pkt, now);
+    notify(now, q_.size(), bytes_);
+    return sim::EnqueueResult::kEnqueued;
+  }
+
+  std::optional<sim::Packet> dequeue(SimTime now) final {
+    if (q_.empty()) return std::nullopt;
+    sim::Packet pkt = q_.front();
+    q_.pop_front();
+    bytes_ -= pkt.size_bytes;
+    if (pool_ != nullptr) pool_->release(pkt.size_bytes);
+    const bool ce_before = pkt.ce;
+    on_occupancy_change(now, /*grew=*/false);
+    after_dequeue(pkt, now);  // may mark (dequeue-marking disciplines)
+    if (!ce_before && pkt.ce) trace("mark", pkt, now);
+    trace("deq", pkt, now);
+    notify(now, q_.size(), bytes_);
+    return pkt;
+  }
+
+  std::size_t packets() const final { return q_.size(); }
+  std::size_t bytes() const final { return bytes_; }
+
+  /// Charges this queue's occupancy against a switch-wide shared memory
+  /// pool (see sim/shared_buffer.h). Set before any traffic; the pool
+  /// must outlive the queue.
+  void set_shared_pool(sim::SharedBufferPool* pool) { pool_ = pool; }
+
+ protected:
+  /// Called with the packet before it joins the queue; occupancy
+  /// accessors still exclude it. May mark the packet (set pkt.ce).
+  /// Returning false drops the packet (probabilistic early drop);
+  /// the base class counts the drop.
+  virtual bool before_admit(sim::Packet& pkt, SimTime now) {
+    (void)pkt;
+    (void)now;
+    return true;
+  }
+
+  /// Called after the packet joined (occupancy includes it); may mark it.
+  virtual void after_admit(sim::Packet& pkt, SimTime now) {
+    (void)pkt;
+    (void)now;
+  }
+
+  /// Called with the departing head-of-line packet after occupancy was
+  /// reduced; may mark it (dequeue-marking disciplines see the queue
+  /// state at departure time, one queueing delay fresher than arrival
+  /// marking).
+  virtual void after_dequeue(sim::Packet& pkt, SimTime now) {
+    (void)pkt;
+    (void)now;
+  }
+
+  /// Called after every occupancy change (enqueue grew, dequeue shrank).
+  virtual void on_occupancy_change(SimTime now, bool grew) {
+    (void)now;
+    (void)grew;
+  }
+
+  /// Current occupancy in the given unit.
+  double occupancy(ThresholdUnit unit) const {
+    return unit == ThresholdUnit::kPackets ? static_cast<double>(q_.size())
+                                           : static_cast<double>(bytes_);
+  }
+
+ private:
+  bool would_overflow(const sim::Packet& pkt) const {
+    if (limit_bytes_ != 0 && bytes_ + pkt.size_bytes > limit_bytes_) return true;
+    if (limit_packets_ != 0 && q_.size() + 1 > limit_packets_) return true;
+    return false;
+  }
+
+  std::size_t limit_bytes_;
+  std::size_t limit_packets_;
+  sim::SharedBufferPool* pool_ = nullptr;
+  std::deque<sim::Packet> q_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace dtdctcp::queue

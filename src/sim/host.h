@@ -1,0 +1,57 @@
+// End host: one NIC port plus per-flow packet handlers (TCP agents).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "sim/node.h"
+#include "sim/port.h"
+
+namespace dtdctcp::sim {
+
+/// Implemented by protocol agents (TCP senders/receivers) to accept
+/// packets demultiplexed by flow id.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(Packet pkt) = 0;
+};
+
+class Host : public Node {
+ public:
+  Host(NodeId id, std::string name) : Node(id, std::move(name)) {}
+
+  /// Installs the NIC (egress port toward the first-hop switch).
+  void set_uplink(std::unique_ptr<Port> port) { uplink_ = std::move(port); }
+
+  Port& uplink() { return *uplink_; }
+  bool has_uplink() const { return uplink_ != nullptr; }
+
+  /// Registers the handler for a flow; the handler must outlive the host
+  /// or be unbound first.
+  void bind_flow(FlowId flow, PacketSink* sink) { sinks_[flow] = sink; }
+  void unbind_flow(FlowId flow) { sinks_.erase(flow); }
+
+  /// Transmits a packet out of the NIC.
+  void send(Packet pkt) { uplink_->send(std::move(pkt)); }
+
+  /// Delivers to the flow's registered sink; packets for unknown flows
+  /// are counted and dropped.
+  void receive(Packet pkt) override {
+    auto it = sinks_.find(pkt.flow);
+    if (it == sinks_.end()) {
+      ++unbound_drops_;
+      return;
+    }
+    it->second->deliver(std::move(pkt));
+  }
+
+  std::uint64_t unbound_drops() const { return unbound_drops_; }
+
+ private:
+  std::unique_ptr<Port> uplink_;
+  std::unordered_map<FlowId, PacketSink*> sinks_;
+  std::uint64_t unbound_drops_ = 0;
+};
+
+}  // namespace dtdctcp::sim

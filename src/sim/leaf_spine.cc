@@ -1,0 +1,40 @@
+#include "sim/leaf_spine.h"
+
+#include <string>
+
+#include "queue/factory.h"
+
+namespace dtdctcp::sim {
+
+LeafSpine build_leaf_spine(const LeafSpineConfig& cfg,
+                           const QueueFactory& switch_queue) {
+  LeafSpine out;
+  out.net = std::make_unique<Network>();
+  Network& net = *out.net;
+
+  const auto host_nic = queue::drop_tail(0, 0);
+
+  for (std::size_t s = 0; s < cfg.spines; ++s) {
+    out.spines.push_back(&net.add_switch("spine" + std::to_string(s)));
+  }
+  for (std::size_t l = 0; l < cfg.leaves; ++l) {
+    Switch& leaf = net.add_switch("leaf" + std::to_string(l));
+    out.leaves.push_back(&leaf);
+    for (Switch* spine : out.spines) {
+      net.connect_switches(leaf, *spine, cfg.fabric_link_bps,
+                           cfg.fabric_link_delay, switch_queue,
+                           switch_queue);
+    }
+    for (std::size_t h = 0; h < cfg.hosts_per_leaf; ++h) {
+      Host& host = net.add_host("h" + std::to_string(l) + "_" +
+                                std::to_string(h));
+      net.attach_host(host, leaf, cfg.host_link_bps, cfg.host_link_delay,
+                      host_nic, switch_queue);
+      out.hosts.push_back(&host);
+    }
+  }
+  net.build_routes();
+  return out;
+}
+
+}  // namespace dtdctcp::sim

@@ -1,0 +1,46 @@
+// Leaf-spine (2-tier Clos) topology builder with per-flow ECMP.
+//
+// The standard datacenter fabric the DCTCP literature targets: L leaf
+// switches each connecting H hosts, S spine switches, every leaf wired
+// to every spine. Cross-rack flows hash onto one of S equal-cost spine
+// paths. Marking disciplines are installed on every switch egress so
+// DCTCP/DT-DCTCP operate fabric-wide.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+#include "util/units.h"
+
+namespace dtdctcp::sim {
+
+struct LeafSpineConfig {
+  std::size_t spines = 2;
+  std::size_t leaves = 4;
+  std::size_t hosts_per_leaf = 4;
+  DataRate host_link_bps = 10e9;
+  DataRate fabric_link_bps = 40e9;  ///< leaf <-> spine
+  SimTime host_link_delay = 5e-6;
+  SimTime fabric_link_delay = 5e-6;
+};
+
+struct LeafSpine {
+  std::unique_ptr<Network> net;
+  std::vector<Switch*> spines;
+  std::vector<Switch*> leaves;
+  std::vector<Host*> hosts;  ///< grouped by leaf: hosts[l*H .. l*H+H-1]
+
+  Host& host(std::size_t leaf, std::size_t index,
+             std::size_t hosts_per_leaf) {
+    return *hosts[leaf * hosts_per_leaf + index];
+  }
+};
+
+/// Builds the fabric; `switch_queue` is installed on every switch
+/// egress port (host NICs get unbounded drop-tail).
+LeafSpine build_leaf_spine(const LeafSpineConfig& cfg,
+                           const QueueFactory& switch_queue);
+
+}  // namespace dtdctcp::sim

@@ -1,0 +1,111 @@
+#include "sim/network.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace dtdctcp::sim {
+
+Host& Network::add_host(std::string name) {
+  auto host = std::make_unique<Host>(next_id(), std::move(name));
+  Host& ref = *host;
+  nodes_.push_back(std::move(host));
+  hosts_.push_back(&ref);
+  return ref;
+}
+
+Switch& Network::add_switch(std::string name) {
+  auto sw = std::make_unique<Switch>(next_id(), std::move(name));
+  Switch& ref = *sw;
+  nodes_.push_back(std::move(sw));
+  switches_.push_back(&ref);
+  return ref;
+}
+
+std::size_t Network::attach_host(Host& host, Switch& sw, DataRate rate_bps,
+                                 SimTime prop_delay,
+                                 const QueueFactory& host_disc,
+                                 const QueueFactory& switch_disc) {
+  auto up = std::make_unique<Port>(sim_, rate_bps, prop_delay, host_disc());
+  up->attach_peer(&sw);
+  host.set_uplink(std::move(up));
+
+  auto down = std::make_unique<Port>(sim_, rate_bps, prop_delay, switch_disc());
+  down->attach_peer(&host);
+  return sw.add_port(std::move(down));
+}
+
+std::pair<std::size_t, std::size_t> Network::connect_switches(
+    Switch& a, Switch& b, DataRate rate_bps, SimTime prop_delay,
+    const QueueFactory& a_disc, const QueueFactory& b_disc) {
+  auto ab = std::make_unique<Port>(sim_, rate_bps, prop_delay, a_disc());
+  ab->attach_peer(&b);
+  const std::size_t ia = a.add_port(std::move(ab));
+
+  auto ba = std::make_unique<Port>(sim_, rate_bps, prop_delay, b_disc());
+  ba->attach_peer(&a);
+  const std::size_t ib = b.add_port(std::move(ba));
+  return {ia, ib};
+}
+
+void Network::build_routes() {
+  // Shortest-path routing with equal-cost multipath: for every host H,
+  // a backward BFS over the switch graph yields each switch's distance
+  // to H; a port is a valid first hop when it leads to H directly or to
+  // a switch one step closer. All equal-cost ports are installed as an
+  // ECMP group (one-port groups degenerate to plain forwarding).
+  constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+
+  for (Host* dst : hosts_) {
+    std::unordered_map<NodeId, std::size_t> dist;  // switch id -> hops to dst
+    std::deque<Switch*> frontier;
+
+    // Seed: switches with a port directly to the destination host.
+    for (Switch* sw : switches_) {
+      for (std::size_t p = 0; p < sw->port_count(); ++p) {
+        if (sw->port(p).peer() == dst) {
+          dist[sw->id()] = 1;
+          frontier.push_back(sw);
+          break;
+        }
+      }
+    }
+    while (!frontier.empty()) {
+      Switch* sw = frontier.front();
+      frontier.pop_front();
+      const std::size_t d = dist[sw->id()];
+      for (std::size_t p = 0; p < sw->port_count(); ++p) {
+        Node* peer = sw->port(p).peer();
+        assert(peer != nullptr && "dangling port");
+        auto* peer_sw = dynamic_cast<Switch*>(peer);
+        if (peer_sw == nullptr) continue;
+        if (dist.count(peer_sw->id())) continue;
+        dist[peer_sw->id()] = d + 1;
+        frontier.push_back(peer_sw);
+      }
+    }
+
+    for (Switch* sw : switches_) {
+      const auto it = dist.find(sw->id());
+      const std::size_t d = it == dist.end() ? kUnreachable : it->second;
+      if (d == kUnreachable) continue;
+      std::vector<std::size_t> group;
+      for (std::size_t p = 0; p < sw->port_count(); ++p) {
+        Node* peer = sw->port(p).peer();
+        if (peer == dst && d == 1) {
+          group.push_back(p);
+          continue;
+        }
+        auto* peer_sw = dynamic_cast<Switch*>(peer);
+        if (peer_sw == nullptr) continue;
+        const auto pit = dist.find(peer_sw->id());
+        if (pit != dist.end() && pit->second + 1 == d) group.push_back(p);
+      }
+      if (!group.empty()) sw->set_routes(dst->id(), std::move(group));
+    }
+  }
+}
+
+}  // namespace dtdctcp::sim

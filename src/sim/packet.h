@@ -1,0 +1,60 @@
+// Packet representation.
+//
+// Packets are small value types moved through the simulator; there is no
+// payload, only the header fields the protocols under study need. ECN
+// bits follow RFC 3168 naming: ECT (capable), CE (congestion experienced,
+// set by switches), ECE (echo, carried on ACKs), CWR (window reduced).
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace dtdctcp::sim {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+struct Packet {
+  std::uint64_t uid = 0;     ///< globally unique, assigned at creation
+  FlowId flow = 0;           ///< demultiplexing key at the hosts
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t size_bytes = 0;  ///< size on the wire
+
+  std::int64_t seq = 0;   ///< data: first segment index; ACK: cumulative ack
+  bool is_ack = false;
+
+  bool ect = false;  ///< ECN-capable transport
+  bool ce = false;   ///< congestion experienced (marked by a switch)
+  bool ece = false;  ///< ECN echo (on ACKs)
+  bool cwr = false;  ///< congestion window reduced (data, classic ECN)
+
+  /// Departure timestamp of the data segment this packet (or the ACK
+  /// covering it) corresponds to; echoed by the receiver so the sender
+  /// can take unambiguous RTT samples (Karn-free timing).
+  SimTime ts_echo = 0.0;
+
+  /// Stamped by the queue discipline on admission; sojourn-time AQMs
+  /// (CoDel, PIE) read it at dequeue. Not a protocol field.
+  SimTime enqueue_ts = 0.0;
+
+  /// True if this data segment is a retransmission (RTT samples from the
+  /// matching ACK are discarded, Karn's rule).
+  bool retransmit = false;
+
+  /// SACK option (on ACKs when the receiver enables it): up to three
+  /// half-open segment ranges [begin, end) received above the
+  /// cumulative ACK, most relevant block first (RFC 2018 layout).
+  struct SackBlock {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+  };
+  static constexpr int kMaxSackBlocks = 3;
+  SackBlock sack[kMaxSackBlocks] = {};
+  std::uint8_t sack_count = 0;
+};
+
+}  // namespace dtdctcp::sim

@@ -1,0 +1,45 @@
+#include "sim/port.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dtdctcp::sim {
+
+void Port::send(Packet pkt) {
+  assert(peer_ != nullptr && "port not wired to a peer");
+  if (!busy_ && disc_->packets() == 0) {
+    disc_->on_bypass(pkt, sim_.now());
+    begin_transmission(std::move(pkt));
+    return;
+  }
+  if (disc_->enqueue(pkt, sim_.now()) == EnqueueResult::kEnqueued && !busy_) {
+    // Transmitter idle but queue was non-empty (can happen transiently
+    // when a drop callback re-enters send); drain in FIFO order.
+    auto head = disc_->dequeue(sim_.now());
+    assert(head.has_value());
+    begin_transmission(std::move(*head));
+  }
+}
+
+void Port::begin_transmission(Packet pkt) {
+  busy_ = true;
+  if (trace_ != nullptr) trace_->packet_event("tx", pkt, sim_.now());
+  const SimTime tx = units::transmission_time(pkt.size_bytes, rate_bps_);
+  ++packets_sent_;
+  bytes_sent_ += pkt.size_bytes;
+  // Arrival at the peer is an independent event so the pipe can hold
+  // multiple packets; transmitter release is a separate event.
+  sim_.after(tx + prop_delay_, [this, p = std::move(pkt)]() mutable {
+    peer_->receive(std::move(p));
+  });
+  sim_.after(tx, [this]() { on_transmit_complete(); });
+}
+
+void Port::on_transmit_complete() {
+  busy_ = false;
+  if (auto next = disc_->dequeue(sim_.now())) {
+    begin_transmission(std::move(*next));
+  }
+}
+
+}  // namespace dtdctcp::sim

@@ -1,0 +1,66 @@
+// Egress port: queue discipline + transmitter + point-to-point link.
+//
+// Model: a packet offered to a port is transmitted immediately when the
+// transmitter is idle and the queue empty (the discipline still gets to
+// observe/mark it via on_bypass); otherwise it is offered to the queue
+// discipline, which may drop or ECN-mark it. Serialization takes
+// size*8/rate seconds; the packet then propagates for `delay` seconds and
+// is delivered to the peer node. The pipe holds arbitrarily many packets
+// in flight (independent arrival events), like a real wire.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/node.h"
+#include "sim/packet.h"
+#include "sim/queue_disc.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace dtdctcp::sim {
+
+class Port {
+ public:
+  Port(Simulator& sim, DataRate rate_bps, SimTime prop_delay,
+       std::unique_ptr<QueueDisc> disc)
+      : sim_(sim), rate_bps_(rate_bps), prop_delay_(prop_delay),
+        disc_(std::move(disc)) {}
+
+  /// Sets the node packets are delivered to after propagation.
+  void attach_peer(Node* peer) { peer_ = peer; }
+
+  Node* peer() const { return peer_; }
+
+  /// Offers a packet for transmission (drops silently if the discipline
+  /// rejects it).
+  void send(Packet pkt);
+
+  /// Attaches a per-packet tracer for transmission events ("tx").
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
+  QueueDisc& disc() { return *disc_; }
+  const QueueDisc& disc() const { return *disc_; }
+  DataRate rate_bps() const { return rate_bps_; }
+  SimTime prop_delay() const { return prop_delay_; }
+  bool busy() const { return busy_; }
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void begin_transmission(Packet pkt);
+  void on_transmit_complete();
+
+  Simulator& sim_;
+  DataRate rate_bps_;
+  SimTime prop_delay_;
+  std::unique_ptr<QueueDisc> disc_;
+  Node* peer_ = nullptr;
+  TraceSink* trace_ = nullptr;
+  bool busy_ = false;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace dtdctcp::sim

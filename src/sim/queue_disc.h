@@ -1,0 +1,73 @@
+// Abstract queueing discipline attached to an egress port.
+//
+// The interface lives in sim/ (concrete disciplines live in queue/) so
+// that the port machinery does not depend on any particular AQM.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "sim/packet.h"
+#include "sim/trace.h"
+
+namespace dtdctcp::sim {
+
+enum class EnqueueResult { kEnqueued, kDropped };
+
+/// FIFO buffer with a pluggable admission/marking policy.
+///
+/// Disciplines may mutate the packet on admission (ECN marking). The
+/// port calls `enqueue` for every packet that finds the transmitter busy
+/// and `dequeue` when the transmitter frees up; packets that arrive at an
+/// idle empty port bypass the queue (standard output-queued switch
+/// behaviour) after being offered to `on_bypass`.
+class QueueDisc {
+ public:
+  virtual ~QueueDisc() = default;
+
+  /// Attempts to admit the packet; may set pkt.ce. Returns kDropped when
+  /// the buffer is full (the packet is discarded).
+  virtual EnqueueResult enqueue(Packet& pkt, SimTime now) = 0;
+
+  /// Removes the head-of-line packet; nullopt when empty.
+  virtual std::optional<Packet> dequeue(SimTime now) = 0;
+
+  /// Lets the discipline observe (and possibly mark) a packet that goes
+  /// straight to the wire with an empty queue. Default: no-op.
+  virtual void on_bypass(Packet& pkt, SimTime now) { (void)pkt; (void)now; }
+
+  virtual std::size_t packets() const = 0;
+  virtual std::size_t bytes() const = 0;
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t marks() const { return marks_; }
+
+  /// Invoked after every occupancy change with (time, packets, bytes);
+  /// used by queue monitors. At most one observer per disc.
+  void set_observer(std::function<void(SimTime, std::size_t, std::size_t)> cb) {
+    observer_ = std::move(cb);
+  }
+
+  /// Attaches a per-packet event tracer (enq/deq/drop/mark). Null
+  /// detaches; the sink must outlive the discipline's activity.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
+ protected:
+  void count_drop() { ++drops_; }
+  void count_mark() { ++marks_; }
+  void notify(SimTime now, std::size_t pkts, std::size_t bytes) {
+    if (observer_) observer_(now, pkts, bytes);
+  }
+  void trace(const char* event, const Packet& pkt, SimTime now) {
+    if (trace_ != nullptr) trace_->packet_event(event, pkt, now);
+  }
+
+ private:
+  std::uint64_t drops_ = 0;
+  std::uint64_t marks_ = 0;
+  std::function<void(SimTime, std::size_t, std::size_t)> observer_;
+  TraceSink* trace_ = nullptr;
+};
+
+}  // namespace dtdctcp::sim

@@ -1,0 +1,61 @@
+// Queue occupancy monitor: time-weighted stats + optional trace.
+//
+// Attach to a queue discipline to reproduce the paper's queue-length
+// figures. Warmup is handled by `reset_at`: statistics restart at the
+// given time while the trace (if enabled) keeps everything.
+#pragma once
+
+#include "sim/queue_disc.h"
+#include "stats/time_series.h"
+#include "stats/time_weighted.h"
+#include "util/units.h"
+
+namespace dtdctcp::sim {
+
+class QueueMonitor {
+ public:
+  /// Subscribes to the discipline's occupancy changes. `trace` enables
+  /// per-event sample recording (memory-heavy on fast links).
+  void attach(QueueDisc& disc, bool trace = false) {
+    trace_enabled_ = trace;
+    disc.set_observer([this](SimTime t, std::size_t pkts, std::size_t bytes) {
+      on_change(t, pkts, bytes);
+    });
+  }
+
+  /// Restarts the statistics window at time `t` (end of warmup).
+  void reset_stats(SimTime t) {
+    pkt_stats_ = stats::TimeWeighted();
+    byte_stats_ = stats::TimeWeighted();
+    pkt_stats_.update(t, last_pkts_);
+    byte_stats_.update(t, last_bytes_);
+  }
+
+  /// Closes the statistics window at time `t`.
+  void finish(SimTime t) {
+    pkt_stats_.finish(t);
+    byte_stats_.finish(t);
+  }
+
+  const stats::TimeWeighted& packets() const { return pkt_stats_; }
+  const stats::TimeWeighted& bytes() const { return byte_stats_; }
+  const stats::TimeSeries& trace() const { return trace_; }
+
+ private:
+  void on_change(SimTime t, std::size_t pkts, std::size_t bytes) {
+    last_pkts_ = static_cast<double>(pkts);
+    last_bytes_ = static_cast<double>(bytes);
+    pkt_stats_.update(t, last_pkts_);
+    byte_stats_.update(t, last_bytes_);
+    if (trace_enabled_) trace_.add(t, last_pkts_);
+  }
+
+  bool trace_enabled_ = false;
+  double last_pkts_ = 0.0;
+  double last_bytes_ = 0.0;
+  stats::TimeWeighted pkt_stats_;
+  stats::TimeWeighted byte_stats_;
+  stats::TimeSeries trace_;
+};
+
+}  // namespace dtdctcp::sim

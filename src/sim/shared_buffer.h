@@ -1,0 +1,45 @@
+// Shared-memory switch buffering.
+//
+// Commodity shallow-buffered switches (the hardware the DCTCP line of
+// work targets) share one memory pool across all ports: traffic on one
+// port shrinks the headroom available to every other port ("buffer
+// pressure"). Queue disciplines optionally charge their bytes against a
+// SharedBufferPool; admission fails when the pool is exhausted even if
+// the port's own limit is not.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace dtdctcp::sim {
+
+class SharedBufferPool {
+ public:
+  explicit SharedBufferPool(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  SharedBufferPool(const SharedBufferPool&) = delete;
+  SharedBufferPool& operator=(const SharedBufferPool&) = delete;
+
+  /// Reserves `bytes` if they fit; false means the caller must drop.
+  bool try_reserve(std::size_t bytes) {
+    if (used_ + bytes > capacity_) return false;
+    used_ += bytes;
+    return true;
+  }
+
+  void release(std::size_t bytes) {
+    assert(bytes <= used_ && "releasing more than reserved");
+    used_ -= bytes;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t available() const { return capacity_ - used_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace dtdctcp::sim

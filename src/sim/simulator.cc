@@ -1,0 +1,38 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dtdctcp::sim {
+
+void Simulator::at(SimTime t, Handler fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // priority_queue::top() returns const&; the handler must be moved out
+    // before pop, so copy the metadata and move the closure.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+}  // namespace dtdctcp::sim

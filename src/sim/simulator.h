@@ -1,0 +1,62 @@
+// Discrete-event simulation kernel.
+//
+// A binary-heap event queue with (time, insertion-sequence) ordering:
+// events at equal times run in the order they were scheduled, which keeps
+// packet pipelines deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace dtdctcp::sim {
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulation time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void at(SimTime t, Handler fn);
+
+  /// Schedules `fn` after a delay of `dt` seconds (dt >= 0).
+  void after(SimTime dt, Handler fn) { at(now_ + dt, std::move(fn)); }
+
+  /// Runs until the event queue drains or stop() is called.
+  void run();
+
+  /// Runs events with time <= t, then sets the clock to t.
+  void run_until(SimTime t);
+
+  /// Stops the run loop after the current event handler returns.
+  void stop() { stopped_ = true; }
+
+  std::uint64_t events_processed() const { return processed_; }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dtdctcp::sim

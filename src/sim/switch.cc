@@ -1,0 +1,38 @@
+#include "sim/switch.h"
+
+#include <utility>
+
+#include "util/log.h"
+
+namespace dtdctcp::sim {
+
+void Switch::set_route(NodeId dst, std::size_t port_index) {
+  set_routes(dst, {port_index});
+}
+
+void Switch::set_routes(NodeId dst, std::vector<std::size_t> port_indices) {
+  if (routes_.size() <= dst) routes_.resize(dst + 1);
+  routes_[dst].clear();
+  routes_[dst].reserve(port_indices.size());
+  for (std::size_t p : port_indices) {
+    routes_[dst].push_back(static_cast<std::uint32_t>(p));
+  }
+}
+
+void Switch::receive(Packet pkt) {
+  const std::vector<std::uint32_t>* group =
+      pkt.dst < routes_.size() && !routes_[pkt.dst].empty()
+          ? &routes_[pkt.dst]
+          : nullptr;
+  if (group == nullptr) {
+    ++unrouted_drops_;
+    logf(LogLevel::kWarn, "%s: no route for dst %u, dropping",
+         name().c_str(), pkt.dst);
+    return;
+  }
+  const std::size_t member =
+      group->size() == 1 ? 0 : ecmp_pick(pkt.flow, group->size());
+  ports_[(*group)[member]]->send(std::move(pkt));
+}
+
+}  // namespace dtdctcp::sim

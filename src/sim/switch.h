@@ -1,0 +1,56 @@
+// Output-queued switch with static forwarding and optional per-flow
+// ECMP across equal-cost egress ports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/node.h"
+#include "sim/port.h"
+
+namespace dtdctcp::sim {
+
+class Switch : public Node {
+ public:
+  Switch(NodeId id, std::string name) : Node(id, std::move(name)) {}
+
+  /// Adds an egress port; returns its index.
+  std::size_t add_port(std::unique_ptr<Port> port) {
+    ports_.push_back(std::move(port));
+    return ports_.size() - 1;
+  }
+
+  Port& port(std::size_t i) { return *ports_[i]; }
+  std::size_t port_count() const { return ports_.size(); }
+
+  /// Installs `dst -> egress port` (static routing, built by Network).
+  void set_route(NodeId dst, std::size_t port_index);
+
+  /// Installs an equal-cost group for `dst`; the egress port is chosen
+  /// per flow by a deterministic hash (packets of one flow always take
+  /// the same path, like real ECMP).
+  void set_routes(NodeId dst, std::vector<std::size_t> port_indices);
+
+  /// Forwards to the routed egress port; packets without a route are
+  /// counted and discarded (misconfiguration guard, never silent).
+  void receive(Packet pkt) override;
+
+  std::uint64_t unrouted_drops() const { return unrouted_drops_; }
+
+  /// The deterministic flow -> member hash used for ECMP (exposed so
+  /// tests and traffic generators can predict path assignment).
+  static std::size_t ecmp_pick(FlowId flow, std::size_t group_size) {
+    // Fibonacci hashing spreads consecutive flow ids across members.
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(flow) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>((h >> 33) % group_size);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::vector<std::vector<std::uint32_t>> routes_;  ///< dst -> port group
+  std::uint64_t unrouted_drops_ = 0;
+};
+
+}  // namespace dtdctcp::sim

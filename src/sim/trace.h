@@ -1,0 +1,77 @@
+// Packet-level tracing.
+//
+// A TraceSink attached to a queue discipline and/or port receives one
+// callback per packet event. Used for debugging protocol behaviour and
+// by tests that assert on exact event sequences; disabled (null) by
+// default so the hot path costs one pointer check.
+//
+// Events emitted:
+//   "enq"   packet admitted to a queue       (discipline)
+//   "deq"   packet left a queue              (discipline)
+//   "drop"  packet discarded                 (discipline)
+//   "mark"  packet ECN-marked                (discipline)
+//   "tx"    packet began serialization       (port)
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/packet.h"
+
+namespace dtdctcp::sim {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void packet_event(const char* event, const Packet& pkt,
+                            SimTime now) = 0;
+};
+
+/// Writes one line per event: "<time_us> <event> flow=<f> seq=<s> ..."
+class TextTracer final : public TraceSink {
+ public:
+  explicit TextTracer(std::ostream& out) : out_(out) {}
+
+  void packet_event(const char* event, const Packet& pkt,
+                    SimTime now) override {
+    out_ << now * 1e6 << "us " << event << " flow=" << pkt.flow
+         << " seq=" << pkt.seq << " size=" << pkt.size_bytes
+         << (pkt.is_ack ? " ack" : "") << (pkt.ce ? " CE" : "")
+         << (pkt.ece ? " ECE" : "") << (pkt.retransmit ? " rtx" : "")
+         << '\n';
+  }
+
+ private:
+  std::ostream& out_;
+};
+
+/// Records events in memory; the tests' tracer.
+class RecordingTracer final : public TraceSink {
+ public:
+  struct Event {
+    std::string kind;
+    FlowId flow;
+    std::int64_t seq;
+    SimTime time;
+    bool ce;
+  };
+
+  void packet_event(const char* event, const Packet& pkt,
+                    SimTime now) override {
+    events.push_back({event, pkt.flow, pkt.seq, now, pkt.ce});
+  }
+
+  std::size_t count(const std::string& kind) const {
+    std::size_t n = 0;
+    for (const auto& e : events) {
+      if (e.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  std::vector<Event> events;
+};
+
+}  // namespace dtdctcp::sim

@@ -1,0 +1,36 @@
+// Fairness metrics over per-flow allocations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dtdctcp::stats {
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2). 1.0 = perfectly
+/// fair, 1/n = one flow takes everything. Empty input yields 0.
+inline double jain_index(const std::vector<double>& allocations) {
+  if (allocations.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  const double n = static_cast<double>(allocations.size());
+  return sum * sum / (n * sum_sq);
+}
+
+/// Max-min ratio: min allocation / max allocation (1.0 = equal shares).
+inline double min_max_ratio(const std::vector<double>& allocations) {
+  if (allocations.empty()) return 0.0;
+  double lo = allocations.front();
+  double hi = allocations.front();
+  for (double x : allocations) {
+    if (x < lo) lo = x;
+    if (x > hi) hi = x;
+  }
+  return hi > 0.0 ? lo / hi : 0.0;
+}
+
+}  // namespace dtdctcp::stats

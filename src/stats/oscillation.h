@@ -1,0 +1,55 @@
+// Oscillation analysis of recorded traces: frequency estimation via
+// mean-crossing counting. Used to compare the describing-function
+// predictions against both the fluid model and the packet simulator.
+#pragma once
+
+#include <cstddef>
+
+#include "stats/time_series.h"
+
+namespace dtdctcp::stats {
+
+struct OscillationEstimate {
+  double frequency_hz = 0.0;  ///< 0 when fewer than 2 full cycles seen
+  std::size_t cycles = 0;     ///< upward mean-crossings minus one
+  double mean = 0.0;
+};
+
+/// Estimates the dominant oscillation frequency of `trace` (restricted
+/// to samples with time >= from) by counting upward crossings of the
+/// trace mean. Robust for the near-periodic relay/hysteresis limit
+/// cycles this project studies; not a general spectral estimator.
+inline OscillationEstimate estimate_oscillation(const TimeSeries& trace,
+                                                double from = 0.0) {
+  OscillationEstimate est;
+  Streaming window;
+  for (const auto& s : trace.samples()) {
+    if (s.time >= from) window.add(s.value);
+  }
+  if (window.count() < 4) return est;
+  est.mean = window.mean();
+
+  bool above = false;
+  bool primed = false;
+  double first = 0.0;
+  double last = 0.0;
+  std::size_t upward = 0;
+  for (const auto& s : trace.samples()) {
+    if (s.time < from) continue;
+    const bool now_above = s.value > est.mean;
+    if (primed && now_above && !above) {
+      if (upward == 0) first = s.time;
+      last = s.time;
+      ++upward;
+    }
+    above = now_above;
+    primed = true;
+  }
+  if (upward >= 2 && last > first) {
+    est.cycles = upward - 1;
+    est.frequency_hz = static_cast<double>(est.cycles) / (last - first);
+  }
+  return est;
+}
+
+}  // namespace dtdctcp::stats

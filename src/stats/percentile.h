@@ -1,0 +1,105 @@
+// Percentile and histogram helpers over sample collections.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace dtdctcp::stats {
+
+/// Collects samples; computes exact percentiles on demand (sorts a copy
+/// lazily, amortized by caching). Suited to the 100-repetition
+/// completion-time experiments, not to millions of samples.
+class PercentileTracker {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  /// Exact percentile with linear interpolation; p in [0, 100].
+  double percentile(double p) {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const double rank = clamped / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] + (samples_[hi] - samples_[lo]) * frac;
+  }
+
+  double median() { return percentile(50.0); }
+  double p99() { return percentile(99.0); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double x : samples_) sum += x;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double max() {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    return samples_.back();
+  }
+
+  double min() {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    return samples_.front();
+  }
+
+  const std::vector<double>& raw() const { return samples_; }
+
+ private:
+  void ensure_sorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins. Used by benches to print distribution shapes.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins > 0 ? bins : 1, 0) {}
+
+  void add(double x) {
+    const double span = hi_ - lo_;
+    std::size_t idx = 0;
+    if (span > 0.0) {
+      const double f = (x - lo_) / span;
+      const auto scaled = static_cast<long long>(f * static_cast<double>(counts_.size()));
+      idx = static_cast<std::size_t>(
+          std::clamp<long long>(scaled, 0, static_cast<long long>(counts_.size()) - 1));
+    }
+    ++counts_[idx];
+    ++total_;
+  }
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t bin(std::size_t i) const { return counts_[i]; }
+  std::size_t total() const { return total_; }
+
+  double bin_lower(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dtdctcp::stats

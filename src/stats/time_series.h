@@ -1,0 +1,57 @@
+// Time series recording for traces (queue length, alpha, cwnd, ...).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/streaming.h"
+#include "util/units.h"
+
+namespace dtdctcp::stats {
+
+struct Sample {
+  SimTime time = 0.0;
+  double value = 0.0;
+};
+
+/// Append-only (time, value) trace with helpers for the harnesses.
+class TimeSeries {
+ public:
+  void add(SimTime t, double v) { samples_.push_back({t, v}); }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Summary over samples with time >= from (sample-weighted).
+  Streaming summarize(SimTime from = 0.0) const {
+    Streaming s;
+    for (const auto& p : samples_) {
+      if (p.time >= from) s.add(p.value);
+    }
+    return s;
+  }
+
+  /// Evenly thins the series to at most `max_points` samples, keeping the
+  /// first and last. Used when printing long traces.
+  TimeSeries downsample(std::size_t max_points) const {
+    TimeSeries out;
+    if (samples_.empty() || max_points == 0) return out;
+    if (samples_.size() <= max_points) {
+      out.samples_ = samples_;
+      return out;
+    }
+    const double stride = static_cast<double>(samples_.size() - 1) /
+                          static_cast<double>(max_points - 1);
+    for (std::size_t i = 0; i < max_points; ++i) {
+      const auto idx = static_cast<std::size_t>(stride * static_cast<double>(i) + 0.5);
+      out.samples_.push_back(samples_[idx < samples_.size() ? idx : samples_.size() - 1]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace dtdctcp::stats

@@ -1,0 +1,69 @@
+// Time-weighted statistics for piecewise-constant signals.
+//
+// Queue occupancy is a step function of time: it changes only at
+// enqueue/dequeue events. Averaging raw samples would bias toward busy
+// periods, so the queue monitors integrate value-over-time instead.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "util/units.h"
+
+namespace dtdctcp::stats {
+
+/// Integrates a piecewise-constant signal. Call `update(t, v)` whenever
+/// the signal changes to value `v` at time `t`; times must be
+/// non-decreasing. Statistics cover [first update, last update).
+class TimeWeighted {
+ public:
+  void update(SimTime t, double value) {
+    if (has_value_) {
+      const double dt = t - last_time_;
+      if (dt > 0.0) {
+        integral_ += current_ * dt;
+        square_integral_ += current_ * current_ * dt;
+        duration_ += dt;
+      }
+    } else {
+      start_time_ = t;
+      has_value_ = true;
+    }
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+    current_ = value;
+    last_time_ = t;
+  }
+
+  /// Closes the observation window at time `t` without changing the value.
+  void finish(SimTime t) { update(t, current_); }
+
+  double mean() const { return duration_ > 0.0 ? integral_ / duration_ : 0.0; }
+
+  double variance() const {
+    if (duration_ <= 0.0) return 0.0;
+    const double m = mean();
+    const double v = square_integral_ / duration_ - m * m;
+    return v > 0.0 ? v : 0.0;  // clamp tiny negative from rounding
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return has_value_ ? min_ : 0.0; }
+  double max() const { return has_value_ ? max_ : 0.0; }
+  double duration() const { return duration_; }
+  bool empty() const { return !has_value_; }
+  double current() const { return current_; }
+
+ private:
+  bool has_value_ = false;
+  double current_ = 0.0;
+  SimTime start_time_ = 0.0;
+  SimTime last_time_ = 0.0;
+  double integral_ = 0.0;
+  double square_integral_ = 0.0;
+  double duration_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace dtdctcp::stats

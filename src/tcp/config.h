@@ -1,0 +1,72 @@
+// TCP agent configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace dtdctcp::tcp {
+
+/// Congestion-control behaviour of the sender.
+enum class CcMode {
+  kReno,     ///< loss-based only; ECN bits ignored (not ECT)
+  kEcnReno,  ///< classic ECN: halve once per window on ECE (RFC 3168)
+  kDctcp,    ///< DCTCP: alpha-proportional reduction (and DT-DCTCP, which
+             ///< differs only at the switch)
+  kCubic,    ///< CUBIC (the Linux default of the paper's testbed era):
+             ///< loss-based, cubic window growth around the last w_max;
+             ///< ECN bits ignored (not ECT)
+  kD2tcp,    ///< D2TCP (Vamanan et al., SIGCOMM'12), the deadline-aware
+             ///< DCTCP the paper cites as follow-on work: the reduction
+             ///< uses the gamma-corrected penalty p = alpha^d, where the
+             ///< urgency d grows as the deadline nears, so near-deadline
+             ///< flows back off less. With no deadline set, d = 1 and
+             ///< the sender is exactly DCTCP.
+};
+
+struct TcpConfig {
+  std::uint32_t mss_bytes = 1500;  ///< data segment size on the wire
+  std::uint32_t ack_bytes = 40;    ///< pure ACK size on the wire
+
+  double init_cwnd = 2.0;       ///< segments
+  double init_ssthresh = 1e9;   ///< effectively unbounded slow start
+  double min_cwnd = 1.0;        ///< floor after ECN reductions
+  double max_cwnd = 1e9;        ///< receiver window stand-in
+
+  CcMode mode = CcMode::kDctcp;
+  double dctcp_g = 1.0 / 16.0;  ///< EWMA gain for alpha (paper: g = 1/16)
+  double dctcp_init_alpha = 1.0;
+
+  // D2TCP only: absolute completion deadline (0 = none -> behaves as
+  // DCTCP) and the clamp range for the urgency exponent d.
+  SimTime deadline = 0.0;
+  double d2tcp_min_d = 0.5;
+  double d2tcp_max_d = 2.0;
+
+  // CUBIC only (RFC 8312 defaults).
+  double cubic_c = 0.4;     ///< scaling constant, segments/s^3
+  double cubic_beta = 0.7;  ///< multiplicative decrease factor
+
+  SimTime min_rto = 0.2;   ///< 200 ms — the min-RTO of the paper-era stacks;
+                           ///< this constant drives Incast collapse timing
+  SimTime max_rto = 60.0;
+  SimTime init_rto = 0.2;  ///< before the first RTT sample
+
+  std::uint32_t dupack_threshold = 3;
+
+  bool delayed_ack = false;        ///< receiver coalescing
+  std::uint32_t delack_segments = 2;
+  SimTime delack_timeout = 0.0005;  ///< 500 us, scaled for datacenter RTTs
+
+  /// Selective acknowledgments (RFC 2018/6675-style): the receiver
+  /// reports out-of-order ranges and the sender runs scoreboard-based
+  /// loss recovery — multiple losses per window recover without RTO.
+  bool sack_enabled = false;
+
+  /// Sender pacing: once an RTT estimate exists, new segments leave at
+  /// rate cwnd/SRTT instead of in ACK-clocked bursts. Smooths the
+  /// synchronized-burst queue spikes that drive Incast drops.
+  bool pacing = false;
+};
+
+}  // namespace dtdctcp::tcp

@@ -1,0 +1,50 @@
+// Convenience wrapper pairing a sender and a receiver over a flow id.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/network.h"
+#include "tcp/receiver.h"
+#include "tcp/sender.h"
+
+namespace dtdctcp::tcp {
+
+/// One unidirectional TCP transfer from `src` host to `dst` host.
+class Connection {
+ public:
+  /// Creates the endpoint pair and binds both to their hosts. A fresh
+  /// flow id is drawn from the network. `total_segments` == 0 means a
+  /// long-lived flow.
+  Connection(sim::Network& net, sim::Host& src, sim::Host& dst,
+             const TcpConfig& cfg, std::int64_t total_segments = 0)
+      : flow_(net.new_flow()),
+        receiver_(std::make_unique<TcpReceiver>(net.sim(), dst, src.id(),
+                                                flow_, cfg, total_segments)),
+        sender_(std::make_unique<TcpSender>(net.sim(), src, dst.id(), flow_,
+                                            cfg, total_segments)) {}
+
+  sim::FlowId flow() const { return flow_; }
+  TcpSender& sender() { return *sender_; }
+  const TcpSender& sender() const { return *sender_; }
+  TcpReceiver& receiver() { return *receiver_; }
+  const TcpReceiver& receiver() const { return *receiver_; }
+
+  void start_at(SimTime t) { sender_->start_at(t); }
+
+  /// Appends data to a finite flow on a warm connection (see
+  /// TcpSender::extend).
+  void extend(std::int64_t extra_segments) { sender_->extend(extra_segments); }
+
+  /// Completion = all segments cumulatively acknowledged at the sender.
+  void set_on_complete(std::function<void(SimTime)> cb) {
+    sender_->set_on_complete(std::move(cb));
+  }
+
+ private:
+  sim::FlowId flow_;
+  std::unique_ptr<TcpReceiver> receiver_;
+  std::unique_ptr<TcpSender> sender_;
+};
+
+}  // namespace dtdctcp::tcp

@@ -1,0 +1,155 @@
+#include "tcp/receiver.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace dtdctcp::tcp {
+
+TcpReceiver::TcpReceiver(sim::Simulator& sim, sim::Host& local,
+                         sim::NodeId remote, sim::FlowId flow,
+                         const TcpConfig& cfg, std::int64_t total_segments)
+    : sim_(sim), local_(local), remote_(remote), flow_(flow), cfg_(cfg),
+      total_segments_(total_segments) {
+  local_.bind_flow(flow_, this);
+}
+
+TcpReceiver::~TcpReceiver() { local_.unbind_flow(flow_); }
+
+void TcpReceiver::deliver(sim::Packet pkt) {
+  assert(!pkt.is_ack && "receiver got an ACK; flow ids crossed");
+  handle_data(pkt);
+}
+
+void TcpReceiver::handle_data(const sim::Packet& pkt) {
+  ++segments_received_;
+  bytes_received_ += pkt.size_bytes;
+  if (pkt.ce) ++ce_received_;
+
+  // Classic ECN (RFC 3168): latch ECE from any CE mark until the sender
+  // signals CWR. DCTCP instead echoes per-segment CE state.
+  if (cfg_.mode == CcMode::kEcnReno) {
+    if (pkt.ce) ece_latched_ = true;
+    if (pkt.cwr) ece_latched_ = false;
+  }
+
+  const std::int64_t prior_cum = cum_ack_;
+  const bool in_order = pkt.seq == cum_ack_;
+  if (in_order) {
+    ++cum_ack_;
+    while (!out_of_order_.empty() && *out_of_order_.begin() == cum_ack_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++cum_ack_;
+    }
+  } else if (pkt.seq > cum_ack_) {
+    out_of_order_.insert(pkt.seq);
+  }
+  // Below-cum_ack segments are spurious retransmissions; still ACKed so
+  // the sender's state converges.
+
+  if (!cfg_.delayed_ack) {
+    send_ack(pkt, cfg_.mode == CcMode::kEcnReno ? ece_latched_ : pkt.ce);
+  } else {
+    // DCTCP two-state echo machine (DCTCP paper, Fig. "ACK generation"):
+    // a change in the CE value of arriving segments flushes the pending
+    // delayed ACK with the *previous* ECE value, acknowledging only the
+    // data received before this packet (otherwise the new segment's CE
+    // state would be misattributed to the old run).
+    const bool gap = !in_order;
+    const bool ce_now =
+        cfg_.mode == CcMode::kEcnReno ? ece_latched_ : pkt.ce;
+    if (pending_ > 0 && ce_now != ce_state_) {
+      flush_delayed(last_data_, prior_cum);
+    }
+    ce_state_ = ce_now;
+    last_data_ = pkt;
+    ++pending_;
+    // Out-of-order data generates an immediate (dup) ACK, as standard.
+    if (gap || pending_ >= cfg_.delack_segments) {
+      flush_delayed(pkt);
+    } else if (pending_ == 1) {
+      arm_delack_timer();
+    }
+  }
+
+  if (!completed_ && total_segments_ > 0 && cum_ack_ >= total_segments_) {
+    completed_ = true;
+    if (on_complete_) on_complete_(sim_.now());
+  }
+}
+
+void TcpReceiver::send_ack(const sim::Packet& trigger, bool ece,
+                           std::int64_t ack_seq) {
+  sim::Packet ack;
+  ack.flow = flow_;
+  ack.src = local_.id();
+  ack.dst = remote_;
+  ack.size_bytes = cfg_.ack_bytes;
+  ack.is_ack = true;
+  ack.seq = ack_seq >= 0 ? ack_seq : cum_ack_;
+  ack.ece = ece;
+  ack.ect = false;  // pure ACKs are not ECN-capable (RFC 3168)
+  ack.ts_echo = trigger.ts_echo;
+  ack.retransmit = trigger.retransmit;
+  if (cfg_.sack_enabled) attach_sack_blocks(ack, trigger.seq);
+  local_.send(ack);
+}
+
+void TcpReceiver::attach_sack_blocks(sim::Packet& ack,
+                                     std::int64_t trigger_seq) const {
+  // Build contiguous runs from the out-of-order set; report the run
+  // containing the triggering segment first (RFC 2018's "most recent"
+  // rule), then the remaining runs from highest to lowest, up to the
+  // option's three-block capacity.
+  struct Run {
+    std::int64_t begin, end;
+  };
+  std::vector<Run> runs;
+  for (auto it = out_of_order_.begin(); it != out_of_order_.end();) {
+    const std::int64_t begin = *it;
+    std::int64_t end = begin + 1;
+    ++it;
+    while (it != out_of_order_.end() && *it == end) {
+      ++end;
+      ++it;
+    }
+    runs.push_back({begin, end});
+  }
+  if (runs.empty()) return;
+
+  auto add_block = [&ack](const Run& r) {
+    if (ack.sack_count >= sim::Packet::kMaxSackBlocks) return;
+    for (int i = 0; i < ack.sack_count; ++i) {
+      if (ack.sack[i].begin == r.begin && ack.sack[i].end == r.end) return;
+    }
+    ack.sack[ack.sack_count].begin = r.begin;
+    ack.sack[ack.sack_count].end = r.end;
+    ++ack.sack_count;
+  };
+
+  for (const Run& r : runs) {
+    if (trigger_seq >= r.begin && trigger_seq < r.end) {
+      add_block(r);
+      break;
+    }
+  }
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) add_block(*it);
+}
+
+void TcpReceiver::flush_delayed(const sim::Packet& trigger,
+                                std::int64_t ack_seq) {
+  if (pending_ == 0) return;
+  pending_ = 0;
+  ++delack_gen_;  // cancel any armed timer
+  send_ack(trigger, ce_state_, ack_seq);
+}
+
+void TcpReceiver::arm_delack_timer() {
+  const std::uint64_t gen = ++delack_gen_;
+  sim_.after(cfg_.delack_timeout, [this, gen, w = std::weak_ptr<char>(alive_)] {
+    if (w.expired()) return;
+    if (gen == delack_gen_ && pending_ > 0) flush_delayed(last_data_);
+  });
+}
+
+}  // namespace dtdctcp::tcp

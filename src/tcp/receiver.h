@@ -1,0 +1,87 @@
+// TCP receiver: cumulative ACKs, out-of-order buffering, and ECN echo.
+//
+// Two echo modes:
+//  * immediate (default): one ACK per data segment, ECE = the segment's
+//    CE bit — exact per-segment congestion information, which is what
+//    DCTCP's estimator needs;
+//  * delayed: coalesces up to `delack_segments` ACKs using the DCTCP
+//    paper's two-state machine — whenever the CE state of arriving
+//    segments changes, the pending ACK is flushed immediately with the
+//    previous ECE value so per-segment accuracy is preserved.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "sim/host.h"
+#include "sim/simulator.h"
+#include "tcp/config.h"
+
+namespace dtdctcp::tcp {
+
+class TcpReceiver final : public sim::PacketSink {
+ public:
+  /// `total_segments` == 0 means a long-lived flow (no completion).
+  TcpReceiver(sim::Simulator& sim, sim::Host& local, sim::NodeId remote,
+              sim::FlowId flow, const TcpConfig& cfg,
+              std::int64_t total_segments = 0);
+
+  ~TcpReceiver() override;
+  TcpReceiver(const TcpReceiver&) = delete;
+  TcpReceiver& operator=(const TcpReceiver&) = delete;
+
+  void deliver(sim::Packet pkt) override;
+
+  /// Invoked once when the last expected segment arrives in order.
+  void set_on_complete(std::function<void(SimTime)> cb) {
+    on_complete_ = std::move(cb);
+  }
+
+  std::int64_t next_expected() const { return cum_ack_; }
+  std::uint64_t segments_received() const { return segments_received_; }
+  std::uint64_t ce_received() const { return ce_received_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  void handle_data(const sim::Packet& pkt);
+  /// `ack_seq` < 0 means acknowledge through the current cum_ack.
+  void send_ack(const sim::Packet& trigger, bool ece,
+                std::int64_t ack_seq = -1);
+  void flush_delayed(const sim::Packet& trigger, std::int64_t ack_seq = -1);
+  void attach_sack_blocks(sim::Packet& ack, std::int64_t trigger_seq) const;
+  void arm_delack_timer();
+
+  sim::Simulator& sim_;
+  sim::Host& local_;
+  sim::NodeId remote_;
+  sim::FlowId flow_;
+  TcpConfig cfg_;
+  std::int64_t total_segments_;
+
+  std::int64_t cum_ack_ = 0;           ///< next expected segment
+  std::set<std::int64_t> out_of_order_;
+  bool completed_ = false;
+
+  // Classic-ECN echo latch (kEcnReno only).
+  bool ece_latched_ = false;
+
+  // Delayed-ACK / DCTCP echo state machine.
+  bool ce_state_ = false;         ///< CE value of the pending run
+  std::uint32_t pending_ = 0;     ///< coalesced segment count
+  sim::Packet last_data_{};       ///< trigger metadata for the pending ACK
+  std::uint64_t delack_gen_ = 0;  ///< timer cancellation generation
+
+  std::uint64_t segments_received_ = 0;
+  std::uint64_t ce_received_ = 0;
+  std::uint64_t bytes_received_ = 0;
+
+  std::function<void(SimTime)> on_complete_;
+
+  /// Liveness token: the delayed-ACK timer holds a weak_ptr so it is a
+  /// no-op if it fires after this receiver was destroyed.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+};
+
+}  // namespace dtdctcp::tcp

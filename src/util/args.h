@@ -1,0 +1,70 @@
+// Tiny command-line argument parser for the tools/ binaries.
+//
+// Supports `--key value` and `--key=value` options plus positional
+// arguments. No abbreviations, no magic — experiments want explicit,
+// reproducible invocations.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dtdctcp {
+
+class Args {
+ public:
+  /// Parses argv (excluding argv[0]). Returns std::nullopt on malformed
+  /// input (an option missing its value).
+  static std::optional<Args> parse(int argc, const char* const* argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) != 0) {
+        args.positional_.push_back(std::move(token));
+        continue;
+      }
+      token.erase(0, 2);
+      const auto eq = token.find('=');
+      if (eq != std::string::npos) {
+        args.options_[token.substr(0, eq)] = token.substr(eq + 1);
+        continue;
+      }
+      if (i + 1 >= argc) return std::nullopt;  // option without a value
+      args.options_[token] = argv[++i];
+    }
+    return args;
+  }
+
+  bool has(const std::string& key) const { return options_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    return end == it->second.c_str() ? fallback : v;
+  }
+
+  long long get_int(const std::string& key, long long fallback) const {
+    auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    return end == it->second.c_str() ? fallback : v;
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dtdctcp

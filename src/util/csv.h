@@ -1,0 +1,70 @@
+// Minimal CSV writer for exporting traces and sweep results.
+//
+// Benches print human-readable tables on stdout; when a caller wants
+// plot-ready data (e.g. DTDCTCP_CSV_DIR is set), these helpers write
+// proper CSV with quoting of the few characters that need it.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dtdctcp {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row; fields containing commas, quotes, or newlines are
+  /// quoted with doubled inner quotes per RFC 4180.
+  void row(const std::vector<std::string>& fields) {
+    bool first = true;
+    for (const auto& f : fields) {
+      if (!first) out_ << ',';
+      first = false;
+      out_ << escape(f);
+    }
+    out_ << '\n';
+  }
+
+  void row(std::initializer_list<std::string> fields) {
+    row(std::vector<std::string>(fields));
+  }
+
+  /// Convenience numeric row.
+  void numeric_row(const std::vector<double>& values) {
+    bool first = true;
+    for (double v : values) {
+      if (!first) out_ << ',';
+      first = false;
+      out_ << v;
+    }
+    out_ << '\n';
+  }
+
+  static std::string escape(const std::string& f) {
+    const bool needs_quoting =
+        f.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting) return f;
+    std::string out = "\"";
+    for (char c : f) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+ private:
+  std::ostream& out_;
+};
+
+/// Opens `path` for writing and returns the stream; the caller checks
+/// is_open() (no exceptions — benches degrade to stdout-only output).
+inline std::ofstream open_csv(const std::string& path) {
+  return std::ofstream(path, std::ios::trunc);
+}
+
+}  // namespace dtdctcp

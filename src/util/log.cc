@@ -1,0 +1,19 @@
+#include "util/log.h"
+
+namespace dtdctcp {
+namespace detail {
+
+LogLevel& active_log_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+}  // namespace detail
+
+LogLevel set_log_level(LogLevel level) {
+  LogLevel prev = detail::active_log_level();
+  detail::active_log_level() = level;
+  return prev;
+}
+
+}  // namespace dtdctcp

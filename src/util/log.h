@@ -1,0 +1,42 @@
+// Minimal leveled logging used by the simulator and harnesses.
+//
+// The simulator is performance sensitive, so log calls below the active
+// level cost one branch. Output goes to stderr; benches print their
+// results on stdout so logging never corrupts machine-readable output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace dtdctcp {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+namespace detail {
+LogLevel& active_log_level();
+}  // namespace detail
+
+/// Sets the global log level; returns the previous level.
+LogLevel set_log_level(LogLevel level);
+
+/// Current global log level.
+inline LogLevel log_level() { return detail::active_log_level(); }
+
+/// printf-style logging; no-op when `level` is above the active level.
+template <typename... Args>
+void logf(LogLevel level, const char* fmt, Args&&... args) {
+  if (static_cast<int>(level) > static_cast<int>(detail::active_log_level())) {
+    return;
+  }
+  static constexpr const char* kTags[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+  std::fprintf(stderr, "[%s] ", kTags[static_cast<int>(level)]);
+  if constexpr (sizeof...(Args) == 0) {
+    std::fputs(fmt, stderr);
+  } else {
+    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+  }
+  std::fputc('\n', stderr);
+}
+
+}  // namespace dtdctcp

@@ -1,0 +1,59 @@
+// Units and conversion helpers shared across the dtdctcp libraries.
+//
+// Conventions used throughout the project:
+//   * time      — double seconds (SimTime)
+//   * data rate — double bits per second
+//   * sizes     — std::size_t bytes unless the name says packets
+//
+// The paper mixes units (Gbps link rates, packet-count thresholds,
+// KB thresholds on the testbed); these helpers keep the conversions in
+// one audited place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dtdctcp {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+/// Data rate in bits per second.
+using DataRate = double;
+
+namespace units {
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+/// Converts a rate given in gigabits per second to bits per second.
+constexpr DataRate gbps(double v) { return v * kGiga; }
+
+/// Converts a rate given in megabits per second to bits per second.
+constexpr DataRate mbps(double v) { return v * kMega; }
+
+/// Converts kilobytes (binary, 1024 B — matches switch buffer specs) to bytes.
+constexpr std::size_t kibibytes(double v) {
+  return static_cast<std::size_t>(v * 1024.0);
+}
+
+/// Converts microseconds to seconds.
+constexpr SimTime microseconds(double v) { return v * 1e-6; }
+
+/// Converts milliseconds to seconds.
+constexpr SimTime milliseconds(double v) { return v * 1e-3; }
+
+/// Serialization delay of `bytes` on a link of rate `rate_bps`.
+constexpr SimTime transmission_time(std::size_t bytes, DataRate rate_bps) {
+  return static_cast<double>(bytes) * 8.0 / rate_bps;
+}
+
+/// Link capacity expressed in packets per second for a fixed packet size,
+/// as used by the fluid model (`C` in Eq. 1–3 of the paper).
+constexpr double packets_per_second(DataRate rate_bps, std::size_t packet_bytes) {
+  return rate_bps / (8.0 * static_cast<double>(packet_bytes));
+}
+
+}  // namespace units
+}  // namespace dtdctcp

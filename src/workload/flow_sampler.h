@@ -1,0 +1,82 @@
+// Periodic per-flow throughput sampling — drives convergence/fairness
+// experiments (flows joining and leaving a bottleneck, DCTCP
+// SIGCOMM-style) and fairness-over-time traces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+#include "stats/fairness.h"
+#include "stats/time_series.h"
+#include "tcp/connection.h"
+
+namespace dtdctcp::workload {
+
+class FlowThroughputSampler {
+ public:
+  /// Samples each registered connection's receiver goodput over every
+  /// `interval` once started. Connections must outlive the sampler's
+  /// sampling window.
+  FlowThroughputSampler(sim::Network& net, SimTime interval)
+      : net_(net), interval_(interval) {}
+
+  void add(tcp::Connection* conn) {
+    flows_.push_back({conn, 0, {}});
+  }
+
+  void start(SimTime t0) {
+    for (auto& f : flows_) f.last_bytes = f.conn->receiver().bytes_received();
+    net_.sim().at(t0 + interval_, [this] { sample(); });
+  }
+
+  void stop() { stopped_ = true; }
+
+  /// Per-flow goodput traces in bits/s (index matches add() order).
+  const stats::TimeSeries& throughput(std::size_t flow) const {
+    return flows_[flow].trace;
+  }
+
+  /// Jain fairness index over time, computed from each sample round.
+  const stats::TimeSeries& jain_trace() const { return jain_; }
+
+  std::size_t flow_count() const { return flows_.size(); }
+
+ private:
+  void sample() {
+    if (stopped_) return;
+    const SimTime now = net_.sim().now();
+    std::vector<double> rates;
+    rates.reserve(flows_.size());
+    for (auto& f : flows_) {
+      const std::uint64_t bytes = f.conn->receiver().bytes_received();
+      const double rate =
+          static_cast<double>(bytes - f.last_bytes) * 8.0 / interval_;
+      f.last_bytes = bytes;
+      f.trace.add(now, rate);
+      rates.push_back(rate);
+    }
+    // Fairness across flows that are actually active this round.
+    std::vector<double> active;
+    for (double r : rates) {
+      if (r > 0.0) active.push_back(r);
+    }
+    if (active.size() > 1) jain_.add(now, stats::jain_index(active));
+    net_.sim().after(interval_, [this] { sample(); });
+  }
+
+  struct FlowSlot {
+    tcp::Connection* conn;
+    std::uint64_t last_bytes;
+    stats::TimeSeries trace;
+  };
+
+  sim::Network& net_;
+  SimTime interval_;
+  bool stopped_ = false;
+  std::vector<FlowSlot> flows_;
+  stats::TimeSeries jain_;
+};
+
+}  // namespace dtdctcp::workload

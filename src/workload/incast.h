@@ -1,0 +1,159 @@
+// Incast / partition-aggregate workloads (paper §VI-B, Figs. 14–15).
+//
+// An aggregator queries `n` workers; every worker responds with a fixed
+// number of bytes, synchronized to within a small jitter. The query
+// completes when the aggregator has received every response; the next
+// query (if any) starts immediately after. Per-query completion times
+// and goodput are recorded.
+//
+// Connection handling mirrors the two ways such benchmarks are run:
+//  * kPersistent (default, matching the paper's repeated-query testbed):
+//    one TCP connection per worker reused across all repetitions —
+//    after the first query the window state is warm and behaviour is
+//    dominated by steady-state queue dynamics;
+//  * kFreshPerQuery: a new connection per worker per query — every
+//    round pays the synchronized slow-start burst.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+#include "stats/percentile.h"
+#include "tcp/connection.h"
+#include "util/rng.h"
+
+namespace dtdctcp::workload {
+
+enum class IncastConnectionMode { kPersistent, kFreshPerQuery };
+
+struct IncastConfig {
+  std::size_t bytes_per_worker = 64 * 1024;  ///< Fig. 14: 64 KB each
+  std::size_t repetitions = 100;             ///< paper: 100 queries
+  SimTime request_jitter = 10e-6;            ///< worker start spread
+  IncastConnectionMode mode = IncastConnectionMode::kPersistent;
+  std::uint64_t seed = 42;
+};
+
+class IncastRunner {
+ public:
+  IncastRunner(sim::Network& net, std::vector<sim::Host*> workers,
+               sim::Host& aggregator, tcp::TcpConfig tcp_cfg,
+               IncastConfig cfg)
+      : net_(net), workers_(std::move(workers)), aggregator_(aggregator),
+        tcp_cfg_(tcp_cfg), cfg_(cfg), rng_(cfg.seed) {}
+
+  /// Launches the configured number of back-to-back queries starting at
+  /// `t0`. Run the simulator afterwards; results become available once
+  /// it finishes.
+  void start(SimTime t0) {
+    next_query_start_ = t0;
+    launch_query(/*first=*/true);
+  }
+
+  /// Invoked after the final query completes.
+  void set_on_done(std::function<void()> cb) { on_done_ = std::move(cb); }
+
+  /// Per-query completion times in seconds (request to last byte).
+  stats::PercentileTracker& completion_times() { return completions_; }
+
+  /// Mean application goodput across queries, in bits per second:
+  /// total response bytes / completion time, averaged per query.
+  double mean_goodput_bps() const {
+    if (goodputs_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double g : goodputs_) sum += g;
+    return sum / static_cast<double>(goodputs_.size());
+  }
+
+  const std::vector<double>& goodputs() const { return goodputs_; }
+  std::size_t queries_completed() const { return completed_queries_; }
+  std::uint64_t total_timeouts() const { return timeouts_; }
+
+ private:
+  std::int64_t segments_per_worker() const {
+    return static_cast<std::int64_t>(
+        (cfg_.bytes_per_worker + tcp_cfg_.mss_bytes - 1) /
+        tcp_cfg_.mss_bytes);
+  }
+
+  void launch_query(bool first) {
+    pending_ = workers_.size();
+    query_start_ = next_query_start_;
+    const std::int64_t segs = segments_per_worker();
+    const bool fresh =
+        cfg_.mode == IncastConnectionMode::kFreshPerQuery || first;
+    if (fresh) {
+      conns_.clear();
+      for (sim::Host* w : workers_) {
+        auto conn = std::make_unique<tcp::Connection>(net_, *w, aggregator_,
+                                                      tcp_cfg_, segs);
+        conn->set_on_complete([this](SimTime t) { on_flow_done(t); });
+        conn->start_at(query_start_ + jitter());
+        conns_.push_back(std::move(conn));
+      }
+    } else {
+      for (auto& conn : conns_) {
+        conn->extend(segs);
+      }
+    }
+    timeouts_at_query_start_ = current_timeouts();
+  }
+
+  SimTime jitter() {
+    return cfg_.request_jitter > 0.0 ? rng_.uniform(0.0, cfg_.request_jitter)
+                                     : 0.0;
+  }
+
+  std::uint64_t current_timeouts() const {
+    std::uint64_t total = 0;
+    for (const auto& c : conns_) total += c->sender().timeouts();
+    return total;
+  }
+
+  void on_flow_done(SimTime t) {
+    if (--pending_ > 0) return;
+    // Query complete: record, then tear down / relaunch from a fresh
+    // event so a connection that invoked this callback is never
+    // destroyed while its sender is still on the call stack.
+    const double fct = t - query_start_;
+    completions_.add(fct);
+    const double bytes = static_cast<double>(cfg_.bytes_per_worker) *
+                         static_cast<double>(workers_.size());
+    goodputs_.push_back(bytes * 8.0 / fct);
+    timeouts_ += current_timeouts() - timeouts_at_query_start_;
+    ++completed_queries_;
+    net_.sim().after(0.0, [this, t] {
+      if (completed_queries_ < cfg_.repetitions) {
+        next_query_start_ = t;
+        launch_query(/*first=*/false);
+      } else {
+        conns_.clear();
+        if (on_done_) on_done_();
+      }
+    });
+  }
+
+  sim::Network& net_;
+  std::vector<sim::Host*> workers_;
+  sim::Host& aggregator_;
+  tcp::TcpConfig tcp_cfg_;
+  IncastConfig cfg_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<tcp::Connection>> conns_;
+  std::size_t pending_ = 0;
+  SimTime query_start_ = 0.0;
+  SimTime next_query_start_ = 0.0;
+  std::size_t completed_queries_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t timeouts_at_query_start_ = 0;
+
+  stats::PercentileTracker completions_;
+  std::vector<double> goodputs_;
+  std::function<void()> on_done_;
+};
+
+}  // namespace dtdctcp::workload

@@ -1,0 +1,59 @@
+// Long-lived flow group: N senders sharing a bottleneck (paper §VI-A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+#include "tcp/connection.h"
+#include "util/rng.h"
+
+namespace dtdctcp::workload {
+
+/// Creates one long-lived connection per (src, dst) pair and staggers the
+/// start times slightly so senders do not phase-lock artificially.
+class LongLivedGroup {
+ public:
+  LongLivedGroup(sim::Network& net, const std::vector<sim::Host*>& sources,
+                 sim::Host& sink, const tcp::TcpConfig& cfg,
+                 SimTime start_spread, std::uint64_t seed) {
+    Rng rng(seed);
+    conns_.reserve(sources.size());
+    for (sim::Host* src : sources) {
+      auto conn = std::make_unique<tcp::Connection>(net, *src, sink, cfg,
+                                                    /*total_segments=*/0);
+      conn->start_at(start_spread > 0.0 ? rng.uniform(0.0, start_spread)
+                                        : 0.0);
+      conns_.push_back(std::move(conn));
+    }
+  }
+
+  std::size_t size() const { return conns_.size(); }
+  tcp::Connection& conn(std::size_t i) { return *conns_[i]; }
+
+  /// Mean of the senders' current alpha estimates (paper Fig. 12).
+  double mean_alpha() const {
+    if (conns_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& c : conns_) sum += c->sender().alpha();
+    return sum / static_cast<double>(conns_.size());
+  }
+
+  /// Total segments cumulatively acknowledged across the group.
+  std::int64_t total_acked() const {
+    std::int64_t sum = 0;
+    for (const auto& c : conns_) sum += c->sender().snd_una();
+    return sum;
+  }
+
+  std::uint64_t total_timeouts() const {
+    std::uint64_t sum = 0;
+    for (const auto& c : conns_) sum += c->sender().timeouts();
+    return sum;
+  }
+
+ private:
+  std::vector<std::unique_ptr<tcp::Connection>> conns_;
+};
+
+}  // namespace dtdctcp::workload

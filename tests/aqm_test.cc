@@ -1,0 +1,207 @@
+// CoDel and PIE AQM tests: control-law behaviour in isolation and
+// against real TCP traffic.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "queue/codel.h"
+#include "queue/factory.h"
+#include "queue/pie.h"
+#include "sim/network.h"
+#include "tcp/connection.h"
+
+namespace dtdctcp {
+namespace {
+
+sim::Packet pkt(bool ect = true) {
+  sim::Packet p;
+  p.size_bytes = 1500;
+  p.ect = ect;
+  return p;
+}
+
+// --- CoDel --------------------------------------------------------------
+
+TEST(Codel, NoSignalBelowTargetSojourn) {
+  queue::CodelQueue q(0, 0, {50e-6, 500e-6});
+  // Enqueue and dequeue immediately: sojourn ~0.
+  for (int i = 0; i < 100; ++i) {
+    auto p = pkt();
+    q.enqueue(p, i * 1e-5);
+    auto d = q.dequeue(i * 1e-5 + 1e-6);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_FALSE(d->ce);
+  }
+  EXPECT_EQ(q.marks(), 0u);
+  EXPECT_FALSE(q.dropping_state());
+}
+
+TEST(Codel, PersistentSojournAboveTargetStartsMarking) {
+  queue::CodelQueue q(0, 0, {50e-6, 500e-6});
+  // Fill, then dequeue slowly so every packet's sojourn is ~1 ms for
+  // well over one interval.
+  SimTime t = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    auto p = pkt();
+    q.enqueue(p, t);
+  }
+  int marked = 0;
+  for (int i = 0; i < 50; ++i) {
+    t += 200e-6;
+    auto d = q.dequeue(t);
+    ASSERT_TRUE(d.has_value());
+    if (d->ce) ++marked;
+  }
+  EXPECT_GT(marked, 0);
+  EXPECT_GT(q.marks(), 0u);
+}
+
+TEST(Codel, SignalRateEscalatesWithCount) {
+  queue::CodelQueue q(0, 0, {50e-6, 500e-6});
+  SimTime t = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    auto p = pkt();
+    q.enqueue(p, t);
+  }
+  // Drain at constant pace with large sojourns: marking instants get
+  // denser (interval/sqrt(count) shrinks).
+  int first_half = 0;
+  int second_half = 0;
+  for (int i = 0; i < 400; ++i) {
+    t += 100e-6;
+    auto d = q.dequeue(t);
+    ASSERT_TRUE(d.has_value());
+    if (d->ce) (i < 200 ? first_half : second_half) += 1;
+  }
+  EXPECT_GT(second_half, first_half);
+}
+
+TEST(Codel, DropsNonEctInsteadOfMarking) {
+  queue::CodelQueue q(0, 0, {50e-6, 500e-6});
+  SimTime t = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    auto p = pkt(/*ect=*/false);
+    q.enqueue(p, t);
+  }
+  std::size_t delivered = 0;
+  for (int i = 0; i < 50; ++i) {
+    t += 200e-6;
+    if (q.dequeue(t).has_value()) ++delivered;
+    if (q.packets() == 0) break;
+  }
+  EXPECT_GT(q.drops(), 0u);
+  EXPECT_LT(delivered, 50u);
+}
+
+TEST(Codel, ExitsDroppingWhenQueueDrains) {
+  queue::CodelQueue q(0, 0, {50e-6, 500e-6});
+  SimTime t = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    auto p = pkt();
+    q.enqueue(p, t);
+  }
+  for (int i = 0; i < 30; ++i) {
+    t += 200e-6;
+    q.dequeue(t);
+  }
+  EXPECT_EQ(q.packets(), 0u);
+  // Fresh traffic with tiny sojourn is clean again.
+  auto p = pkt();
+  q.enqueue(p, t);
+  auto d = q.dequeue(t + 1e-6);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->ce);
+}
+
+TEST(Codel, BoundsQueueDelayForDctcpFlow) {
+  // End to end: a DCTCP-style ECT flow through CoDel keeps a bounded
+  // standing queue and full-ish utilization.
+  sim::Network net;
+  auto& sw = net.add_switch("sw");
+  auto& a = net.add_host("a");
+  auto& b = net.add_host("b");
+  const auto q = queue::drop_tail(0, 0);
+  net.attach_host(a, sw, units::gbps(1), 25e-6, q, q);
+  const auto port = net.attach_host(b, sw, units::mbps(100), 25e-6, q, [] {
+    return std::make_unique<queue::CodelQueue>(
+        0, 200, queue::CodelConfig{50e-6, 500e-6});
+  });
+  net.build_routes();
+  tcp::TcpConfig cfg;
+  cfg.mode = tcp::CcMode::kDctcp;  // reacts per-mark like DCTCP
+  cfg.min_rto = 0.01;
+  cfg.init_rto = 0.01;
+  tcp::Connection conn(net, a, b, cfg, 0);
+  conn.start_at(0.0);
+  net.sim().run_until(0.5);
+  // 50us at 100 Mbps is ~0.4 packets; allow a generous band but far
+  // below the 200-packet buffer.
+  EXPECT_LT(sw.port(port).disc().packets(), 50u);
+  const double goodput =
+      static_cast<double>(conn.receiver().bytes_received()) * 8.0 / 0.5;
+  EXPECT_GT(goodput, 0.7 * units::mbps(100));
+}
+
+// --- PIE ----------------------------------------------------------------
+
+TEST(Pie, ProbabilityZeroOnEmptyQueue) {
+  queue::PieQueue q(0, 0, {}, units::mbps(100));
+  auto p = pkt();
+  q.enqueue(p, 0.0);
+  EXPECT_FALSE(p.ce);
+  EXPECT_DOUBLE_EQ(q.probability(), 0.0);
+}
+
+TEST(Pie, ProbabilityRisesUnderStandingQueue) {
+  queue::PieConfig cfg;
+  cfg.target_delay = 50e-6;
+  cfg.update_interval = 100e-6;
+  queue::PieQueue q(0, 0, cfg, units::mbps(100));
+  // Hold a large standing backlog (never dequeue) across many update
+  // intervals.
+  SimTime t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    auto p = pkt();
+    q.enqueue(p, t);
+    t += 50e-6;
+  }
+  EXPECT_GT(q.probability(), 0.05);
+  EXPECT_GT(q.marks(), 0u);
+}
+
+TEST(Pie, ProbabilityDecaysAfterDrain) {
+  queue::PieConfig cfg;
+  queue::PieQueue q(0, 0, cfg, units::mbps(100));
+  SimTime t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    auto p = pkt();
+    q.enqueue(p, t);
+    t += 50e-6;
+  }
+  const double p_high = q.probability();
+  while (q.dequeue(t).has_value()) {
+  }
+  // Trigger updates with occasional light traffic.
+  for (int i = 0; i < 100; ++i) {
+    t += 200e-6;
+    auto p = pkt();
+    q.enqueue(p, t);
+    q.dequeue(t + 1e-6);
+  }
+  EXPECT_LT(q.probability(), p_high);
+}
+
+TEST(Pie, DropsNonEctProbabilistically) {
+  queue::PieConfig cfg;
+  queue::PieQueue q(0, 0, cfg, units::mbps(10));
+  SimTime t = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    auto p = pkt(/*ect=*/false);
+    q.enqueue(p, t);
+    t += 50e-6;
+  }
+  EXPECT_GT(q.drops(), 0u);
+}
+
+}  // namespace
+}  // namespace dtdctcp

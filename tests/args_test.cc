@@ -1,0 +1,56 @@
+// Argument-parser tests for the CLI tool.
+#include <gtest/gtest.h>
+
+#include "util/args.h"
+
+namespace dtdctcp {
+namespace {
+
+Args parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  auto parsed = Args::parse(static_cast<int>(v.size()), v.data());
+  EXPECT_TRUE(parsed.has_value());
+  return *parsed;
+}
+
+TEST(Args, PositionalAndOptions) {
+  const Args a = parse({"dumbbell", "--flows", "60", "--marking=dt:30,50"});
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "dumbbell");
+  EXPECT_EQ(a.get_int("flows", 0), 60);
+  EXPECT_EQ(a.get("marking", ""), "dt:30,50");
+}
+
+TEST(Args, EqualsSyntax) {
+  const Args a = parse({"--rtt-us=250.5"});
+  EXPECT_DOUBLE_EQ(a.get_double("rtt-us", 0.0), 250.5);
+}
+
+TEST(Args, Fallbacks) {
+  const Args a = parse({"cmd"});
+  EXPECT_EQ(a.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(a.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(a.has("missing"));
+}
+
+TEST(Args, MalformedNumberFallsBack) {
+  const Args a = parse({"--flows", "abc"});
+  EXPECT_EQ(a.get_int("flows", 3), 3);
+  EXPECT_DOUBLE_EQ(a.get_double("flows", 2.5), 2.5);
+}
+
+TEST(Args, OptionMissingValueIsError) {
+  const char* argv[] = {"prog", "--flows"};
+  EXPECT_FALSE(Args::parse(2, argv).has_value());
+}
+
+TEST(Args, MultiplePositionals) {
+  const Args a = parse({"one", "--k", "v", "two"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[1], "two");
+}
+
+}  // namespace
+}  // namespace dtdctcp

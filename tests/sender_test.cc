@@ -1,0 +1,344 @@
+// TcpSender unit tests: congestion-control arithmetic validated by
+// injecting crafted ACKs directly and capturing the data stream at the
+// remote host.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "queue/factory.h"
+#include "sim/network.h"
+#include "tcp/sender.h"
+
+namespace dtdctcp {
+namespace {
+
+class DataCollector : public sim::PacketSink {
+ public:
+  void deliver(sim::Packet pkt) override { data.push_back(pkt); }
+  std::vector<sim::Packet> data;
+};
+
+struct Rig {
+  sim::Network net;
+  sim::Host* send_host = nullptr;
+  sim::Host* recv_host = nullptr;
+  DataCollector collector;
+  static constexpr sim::FlowId kFlow = 3;
+
+  Rig() {
+    auto& sw = net.add_switch("sw");
+    send_host = &net.add_host("a");
+    recv_host = &net.add_host("b");
+    const auto q = queue::drop_tail(0, 0);
+    net.attach_host(*send_host, sw, units::gbps(10), 1e-6, q, q);
+    net.attach_host(*recv_host, sw, units::gbps(10), 1e-6, q, q);
+    net.build_routes();
+    recv_host->bind_flow(kFlow, &collector);
+  }
+
+  /// Crafts an ACK as the receiver would.
+  sim::Packet ack(std::int64_t cum, bool ece = false,
+                  SimTime ts_echo = 0.0, bool retransmit = false) {
+    sim::Packet p;
+    p.flow = kFlow;
+    p.src = recv_host->id();
+    p.dst = send_host->id();
+    p.size_bytes = 40;
+    p.seq = cum;
+    p.is_ack = true;
+    p.ece = ece;
+    p.ts_echo = ts_echo;
+    p.retransmit = retransmit;
+    return p;
+  }
+};
+
+tcp::TcpConfig base_cfg(tcp::CcMode mode) {
+  tcp::TcpConfig cfg;
+  cfg.mode = mode;
+  cfg.init_cwnd = 2.0;
+  cfg.min_rto = 1.0;  // keep RTO out of the way unless a test wants it
+  cfg.init_rto = 1.0;
+  return cfg;
+}
+
+TEST(Sender, InitialWindowLimitsFirstBurst) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kReno);
+  cfg.init_cwnd = 4.0;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 100);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  EXPECT_EQ(rig.collector.data.size(), 4u);
+  EXPECT_EQ(tx.snd_nxt(), 4);
+}
+
+TEST(Sender, SlowStartIncrementsPerAckedSegment) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kReno);
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 1000);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  EXPECT_DOUBLE_EQ(tx.cwnd(), 2.0);
+  tx.deliver(rig.ack(1));
+  EXPECT_DOUBLE_EQ(tx.cwnd(), 3.0);
+  tx.deliver(rig.ack(2));
+  EXPECT_DOUBLE_EQ(tx.cwnd(), 4.0);
+}
+
+TEST(Sender, CongestionAvoidanceGrowsByReciprocal) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kReno);
+  cfg.init_ssthresh = 2.0;  // start directly in congestion avoidance
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 1000);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  const double w0 = tx.cwnd();
+  tx.deliver(rig.ack(1));
+  EXPECT_NEAR(tx.cwnd(), w0 + 1.0 / w0, 1e-12);
+}
+
+TEST(Sender, ThreeDupAcksTriggerFastRetransmit) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kReno);
+  cfg.init_cwnd = 8.0;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 100);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  rig.collector.data.clear();
+
+  tx.deliver(rig.ack(1));      // new data acked
+  const double w = tx.cwnd();  // 9 after slow start growth
+  tx.deliver(rig.ack(1));      // dup 1
+  tx.deliver(rig.ack(1));      // dup 2
+  EXPECT_EQ(tx.fast_retransmits(), 0u);
+  tx.deliver(rig.ack(1));  // dup 3 -> retransmit
+  EXPECT_EQ(tx.fast_retransmits(), 1u);
+  EXPECT_NEAR(tx.ssthresh(), w / 2.0, 1e-12);
+  rig.net.sim().run_until(0.002);
+  // The retransmission carries seq 1 (the hole) and the retransmit flag.
+  bool saw_rtx = false;
+  for (const auto& p : rig.collector.data) {
+    if (p.seq == 1 && p.retransmit) saw_rtx = true;
+  }
+  EXPECT_TRUE(saw_rtx);
+}
+
+TEST(Sender, FullAckLeavesRecoveryAtSsthresh) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kReno);
+  cfg.init_cwnd = 8.0;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 100);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  tx.deliver(rig.ack(1));
+  const std::int64_t recover = tx.snd_nxt();
+  for (int i = 0; i < 3; ++i) tx.deliver(rig.ack(1));  // enter recovery
+  const double ssthresh = tx.ssthresh();
+  tx.deliver(rig.ack(recover));  // full ACK
+  EXPECT_DOUBLE_EQ(tx.cwnd(), ssthresh);
+  EXPECT_EQ(tx.snd_una(), recover);
+}
+
+TEST(Sender, RtoBacksOffExponentially) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kReno);
+  cfg.min_rto = 0.1;
+  cfg.init_rto = 0.1;
+  cfg.max_rto = 60.0;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 10);
+  tx.start_at(0.0);
+  // Never ACK anything: RTOs at ~0.1, then +0.2, then +0.4 ...
+  rig.net.sim().run_until(0.15);
+  EXPECT_EQ(tx.timeouts(), 1u);
+  EXPECT_DOUBLE_EQ(tx.cwnd(), 1.0);
+  rig.net.sim().run_until(0.35);
+  EXPECT_EQ(tx.timeouts(), 2u);
+  rig.net.sim().run_until(0.80);
+  EXPECT_EQ(tx.timeouts(), 3u);
+}
+
+TEST(Sender, RttSampleIgnoredForRetransmittedSegment) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kReno);
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 100);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  const SimTime srtt_before = tx.srtt();
+  tx.deliver(rig.ack(1, false, 0.0, /*retransmit=*/true));  // Karn
+  EXPECT_DOUBLE_EQ(tx.srtt(), srtt_before);
+  // A clean sample updates SRTT.
+  rig.net.sim().run_until(0.002);
+  tx.deliver(rig.ack(2, false, /*ts_echo=*/0.001));
+  EXPECT_GT(tx.srtt(), 0.0);
+}
+
+// --- DCTCP arithmetic ---------------------------------------------------
+
+TEST(Sender, DctcpAlphaConvergesToMarkedFraction) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kDctcp);
+  cfg.dctcp_g = 0.5;  // fast convergence for the test
+  cfg.dctcp_init_alpha = 0.0;
+  cfg.init_cwnd = 4.0;
+  cfg.max_cwnd = 4.0;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 100000);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  // Repeatedly acknowledge full windows with exactly half the ACKs
+  // carrying ECE; alpha must converge to 0.5.
+  std::int64_t cum = 0;
+  for (int round = 0; round < 24; ++round) {
+    for (int j = 0; j < 4; ++j) {
+      ++cum;
+      tx.deliver(rig.ack(cum, /*ece=*/j % 2 == 0));
+      rig.net.sim().run_until(rig.net.sim().now() + 1e-5);
+    }
+  }
+  EXPECT_NEAR(tx.alpha(), 0.5, 0.1);
+}
+
+TEST(Sender, DctcpReducesProportionallyToAlpha) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kDctcp);
+  cfg.dctcp_init_alpha = 0.5;
+  cfg.init_cwnd = 16.0;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 100000);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  const double w = tx.cwnd();
+  tx.deliver(rig.ack(1, /*ece=*/true));
+  // The first ACK closes the 1-segment initial estimation window with a
+  // fully-marked fraction, so alpha updates first:
+  //   alpha' = (1-g)*0.5 + g*1.0, g = 1/16
+  // then W <- W*(1 - alpha'/2), then congestion avoidance adds 1/W'.
+  const double alpha1 = (1.0 - 1.0 / 16.0) * 0.5 + 1.0 / 16.0;
+  const double reduced = w * (1.0 - alpha1 / 2.0);
+  EXPECT_NEAR(tx.cwnd(), reduced + 1.0 / reduced, 1e-9);
+  EXPECT_NEAR(tx.alpha(), alpha1, 1e-12);
+  EXPECT_EQ(tx.ecn_reductions(), 1u);
+}
+
+TEST(Sender, DctcpReducesAtMostOncePerWindow) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kDctcp);
+  cfg.dctcp_init_alpha = 1.0;
+  cfg.init_cwnd = 8.0;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 100000);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  const std::int64_t window_end = tx.snd_nxt();
+  tx.deliver(rig.ack(1, true));
+  EXPECT_EQ(tx.ecn_reductions(), 1u);
+  // Further ECE within the same window of data: no additional cut.
+  tx.deliver(rig.ack(2, true));
+  tx.deliver(rig.ack(3, true));
+  EXPECT_EQ(tx.ecn_reductions(), 1u);
+  // Past the recorded window end: eligible again.
+  tx.deliver(rig.ack(window_end + 1, true));
+  EXPECT_EQ(tx.ecn_reductions(), 2u);
+}
+
+TEST(Sender, EcnRenoHalvesOnEceAndSetsCwr) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kEcnReno);
+  cfg.init_cwnd = 8.0;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 100);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  rig.collector.data.clear();
+  const double w = tx.cwnd();
+  tx.deliver(rig.ack(1, /*ece=*/true));
+  // Halved to ssthresh, plus the congestion-avoidance increment the
+  // same ACK earns afterwards.
+  const double half = std::max(w / 2.0, 2.0);
+  EXPECT_NEAR(tx.cwnd(), half + 1.0 / half, 1e-9);
+  // Drain enough of the inflight window that new data flows again; the
+  // first new segment must carry CWR.
+  for (int i = 2; i <= 6; ++i) tx.deliver(rig.ack(i, /*ece=*/true));
+  rig.net.sim().run_until(0.002);
+  ASSERT_FALSE(rig.collector.data.empty());
+  EXPECT_TRUE(rig.collector.data.front().cwr);
+  // Only one reduction for the whole window despite repeated ECE.
+  EXPECT_EQ(tx.ecn_reductions(), 1u);
+}
+
+TEST(Sender, RenoIgnoresEce) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kReno);
+  cfg.init_cwnd = 8.0;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 100);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  tx.deliver(rig.ack(1, /*ece=*/true));
+  EXPECT_EQ(tx.ecn_reductions(), 0u);
+  EXPECT_GT(tx.cwnd(), 8.0);  // grew, did not cut
+}
+
+TEST(Sender, RenoSendsNonEctPackets) {
+  Rig rig;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, base_cfg(tcp::CcMode::kReno), 10);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  for (const auto& p : rig.collector.data) EXPECT_FALSE(p.ect);
+}
+
+TEST(Sender, DctcpSendsEctPackets) {
+  Rig rig;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, base_cfg(tcp::CcMode::kDctcp), 10);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  for (const auto& p : rig.collector.data) EXPECT_TRUE(p.ect);
+}
+
+TEST(Sender, ExtendReopensACompletedFlow) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kReno);
+  cfg.init_cwnd = 4.0;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 2);
+  int completions = 0;
+  tx.set_on_complete([&](SimTime) { ++completions; });
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  tx.deliver(rig.ack(2));
+  EXPECT_EQ(completions, 1);
+  EXPECT_TRUE(tx.completed());
+  const double w = tx.cwnd();
+  tx.extend(3);
+  EXPECT_FALSE(tx.completed());
+  EXPECT_DOUBLE_EQ(tx.cwnd(), w);  // congestion state preserved
+  rig.net.sim().run_until(0.002);
+  tx.deliver(rig.ack(5));
+  EXPECT_EQ(completions, 2);
+}
+
+TEST(Sender, MaxCwndCapsGrowth) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kReno);
+  cfg.max_cwnd = 5.0;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 1000);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  for (int i = 1; i <= 20; ++i) tx.deliver(rig.ack(i));
+  EXPECT_LE(tx.cwnd(), 5.0);
+}
+
+}  // namespace
+}  // namespace dtdctcp

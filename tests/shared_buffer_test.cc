@@ -1,0 +1,148 @@
+// Shared-memory switch buffer tests, including the buffer-pressure
+// phenomenon (DCTCP SIGCOMM §2.3 / §5.3): traffic on one port consumes
+// the headroom of another.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "queue/drop_tail.h"
+#include "queue/ecn_threshold.h"
+#include "queue/factory.h"
+#include "sim/network.h"
+#include "sim/shared_buffer.h"
+#include "tcp/connection.h"
+
+namespace dtdctcp {
+namespace {
+
+sim::Packet pkt(std::uint32_t bytes = 1500) {
+  sim::Packet p;
+  p.size_bytes = bytes;
+  p.ect = true;
+  return p;
+}
+
+TEST(SharedBufferPool, AccountingAndExhaustion) {
+  sim::SharedBufferPool pool(4000);
+  EXPECT_TRUE(pool.try_reserve(1500));
+  EXPECT_TRUE(pool.try_reserve(1500));
+  EXPECT_EQ(pool.used(), 3000u);
+  EXPECT_EQ(pool.available(), 1000u);
+  EXPECT_FALSE(pool.try_reserve(1500));  // would exceed
+  pool.release(1500);
+  EXPECT_TRUE(pool.try_reserve(1500));
+}
+
+TEST(SharedBufferPool, QueueChargesAndReleases) {
+  sim::SharedBufferPool pool(4500);
+  queue::DropTailQueue q(0, 0);
+  q.set_shared_pool(&pool);
+  for (int i = 0; i < 3; ++i) {
+    auto p = pkt();
+    EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kEnqueued);
+  }
+  EXPECT_EQ(pool.used(), 4500u);
+  auto p = pkt();
+  EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kDropped);
+  EXPECT_EQ(q.drops(), 1u);
+  q.dequeue(0.0);
+  EXPECT_EQ(pool.used(), 3000u);
+  auto p2 = pkt();
+  EXPECT_EQ(q.enqueue(p2, 0.0), sim::EnqueueResult::kEnqueued);
+}
+
+TEST(SharedBufferPool, TwoQueuesCompeteForTheSamePool) {
+  sim::SharedBufferPool pool(6000);
+  queue::DropTailQueue a(0, 0);
+  queue::DropTailQueue b(0, 0);
+  a.set_shared_pool(&pool);
+  b.set_shared_pool(&pool);
+  // Fill a with 3 packets; b only fits 1 more.
+  for (int i = 0; i < 3; ++i) {
+    auto p = pkt();
+    a.enqueue(p, 0.0);
+  }
+  auto p1 = pkt();
+  EXPECT_EQ(b.enqueue(p1, 0.0), sim::EnqueueResult::kEnqueued);
+  auto p2 = pkt();
+  EXPECT_EQ(b.enqueue(p2, 0.0), sim::EnqueueResult::kDropped);
+  // Draining a restores b's headroom.
+  a.dequeue(0.0);
+  auto p3 = pkt();
+  EXPECT_EQ(b.enqueue(p3, 0.0), sim::EnqueueResult::kEnqueued);
+}
+
+TEST(SharedBufferPool, BufferPressureEndToEnd) {
+  // Two output ports of one switch share 80 pkts of memory. Elephants
+  // congest port B; the burst into port A then sees less headroom and
+  // drops more than it would with the elephants marked down by DCTCP.
+  auto run = [&](bool elephants_marked) {
+    sim::SharedBufferPool pool(80 * 1500);
+    sim::Network net;
+    auto& sw = net.add_switch("sw");
+    auto& client_a = net.add_host("ca");
+    auto& client_b = net.add_host("cb");
+    const auto q = queue::drop_tail(0, 0);
+    // Port A (burst victim): plain drop-tail, pool-charged.
+    const auto port_a_disc = [&pool] {
+      auto d = std::make_unique<queue::DropTailQueue>(0, 0);
+      d->set_shared_pool(&pool);
+      return d;
+    };
+    // Port B (elephants): marked (DCTCP K=10) or plain, pool-charged.
+    const auto port_b_disc = [&pool, elephants_marked]()
+        -> std::unique_ptr<sim::QueueDisc> {
+      if (elephants_marked) {
+        auto d = std::make_unique<queue::EcnThresholdQueue>(
+            0, 0, 10.0, queue::ThresholdUnit::kPackets);
+        d->set_shared_pool(&pool);
+        return d;
+      }
+      auto d = std::make_unique<queue::DropTailQueue>(0, 0);
+      d->set_shared_pool(&pool);
+      return d;
+    };
+    const std::size_t port_a =
+        net.attach_host(client_a, sw, units::mbps(100), 25e-6, q,
+                        port_a_disc);
+    net.attach_host(client_b, sw, units::mbps(100), 25e-6, q, port_b_disc);
+
+    std::vector<sim::Host*> sources;
+    for (int i = 0; i < 6; ++i) {
+      auto& h = net.add_host("h" + std::to_string(i));
+      net.attach_host(h, sw, units::gbps(1), 25e-6, q, q);
+      sources.push_back(&h);
+    }
+    net.build_routes();
+
+    // Two elephants to client_b; ECT so marking can tame them.
+    tcp::TcpConfig ecfg;
+    ecfg.mode = tcp::CcMode::kDctcp;
+    ecfg.min_rto = 0.01;
+    ecfg.init_rto = 0.01;
+    tcp::Connection e1(net, *sources[0], client_b, ecfg, 0);
+    tcp::Connection e2(net, *sources[1], client_b, ecfg, 0);
+    e1.start_at(0.0);
+    e2.start_at(0.0);
+    net.sim().run_until(0.1);  // elephants reach steady state
+
+    // Synchronized 30 KB bursts from four workers to client_a.
+    std::vector<std::unique_ptr<tcp::Connection>> bursts;
+    for (int i = 2; i < 6; ++i) {
+      bursts.push_back(std::make_unique<tcp::Connection>(
+          net, *sources[i], client_a, ecfg, 20));
+      bursts.back()->start_at(0.1);
+    }
+    net.sim().run_until(0.4);
+    return sw.port(port_a).disc().drops();
+  };
+
+  const auto drops_with_droptail_elephants = run(false);
+  const auto drops_with_marked_elephants = run(true);
+  // Marked elephants hold a tiny queue on port B, leaving the shared
+  // pool to absorb port A's burst.
+  EXPECT_LT(drops_with_marked_elephants, drops_with_droptail_elephants);
+}
+
+}  // namespace
+}  // namespace dtdctcp

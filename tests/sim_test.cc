@@ -1,0 +1,283 @@
+// Unit tests for the discrete-event kernel, ports/links, switching and
+// routing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "queue/drop_tail.h"
+#include "queue/factory.h"
+#include "sim/network.h"
+#include "sim/port.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace dtdctcp {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  sim::Simulator s;
+  std::vector<int> order;
+  s.at(2.0, [&] { order.push_back(2); });
+  s.at(1.0, [&] { order.push_back(1); });
+  s.at(3.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.events_processed(), 3u);
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimesRunInScheduleOrder) {
+  sim::Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  sim::Simulator s;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) s.after(1.0, chain);
+  };
+  s.after(1.0, chain);
+  s.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  sim::Simulator s;
+  int fired = 0;
+  s.at(1.0, [&] { ++fired; });
+  s.at(2.0, [&] { ++fired; });
+  s.at(3.0, [&] { ++fired; });
+  s.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+  s.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, StopHaltsTheLoop) {
+  sim::Simulator s;
+  int fired = 0;
+  s.at(1.0, [&] {
+    ++fired;
+    s.stop();
+  });
+  s.at(2.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  s.run();  // resumes with the remaining event
+  EXPECT_EQ(fired, 2);
+}
+
+// --- port / link timing ---------------------------------------------
+
+class SinkNode : public sim::Node {
+ public:
+  using Node::Node;
+  void receive(sim::Packet pkt) override {
+    packets.push_back(pkt);
+    arrival_times.push_back(last_now ? *last_now : -1.0);
+  }
+  std::vector<sim::Packet> packets;
+  std::vector<SimTime> arrival_times;
+  const SimTime* last_now = nullptr;
+};
+
+TEST(Port, SerializationPlusPropagationDelay) {
+  sim::Simulator s;
+  SinkNode sink(0, "sink");
+  SimTime arrival = -1.0;
+  // 1000 bytes at 1 Mbps = 8 ms serialization; +1 ms propagation.
+  sim::Port port(s, units::mbps(1), 0.001,
+                 std::make_unique<queue::DropTailQueue>(0, 0));
+  // Wrap the sink to capture the arrival time.
+  class TimedSink : public sim::Node {
+   public:
+    TimedSink(sim::Simulator& sim, SimTime& t) : Node(1, "t"), sim_(sim), t_(t) {}
+    void receive(sim::Packet) override { t_ = sim_.now(); }
+    sim::Simulator& sim_;
+    SimTime& t_;
+  } timed(s, arrival);
+  port.attach_peer(&timed);
+
+  sim::Packet pkt;
+  pkt.size_bytes = 1000;
+  port.send(pkt);
+  s.run();
+  EXPECT_NEAR(arrival, 0.008 + 0.001, 1e-12);
+  EXPECT_EQ(port.packets_sent(), 1u);
+  EXPECT_EQ(port.bytes_sent(), 1000u);
+}
+
+TEST(Port, BackToBackPacketsSpacedBySerialization) {
+  sim::Simulator s;
+  std::vector<SimTime> arrivals;
+  class TimedSink : public sim::Node {
+   public:
+    TimedSink(sim::Simulator& sim, std::vector<SimTime>& v)
+        : Node(1, "t"), sim_(sim), v_(v) {}
+    void receive(sim::Packet) override { v_.push_back(sim_.now()); }
+    sim::Simulator& sim_;
+    std::vector<SimTime>& v_;
+  } timed(s, arrivals);
+
+  sim::Port port(s, units::mbps(8), 0.0,
+                 std::make_unique<queue::DropTailQueue>(0, 0));
+  port.attach_peer(&timed);
+  sim::Packet pkt;
+  pkt.size_bytes = 1000;  // 1 ms at 8 Mbps
+  port.send(pkt);
+  port.send(pkt);
+  port.send(pkt);
+  s.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_NEAR(arrivals[0], 0.001, 1e-12);
+  EXPECT_NEAR(arrivals[1], 0.002, 1e-12);
+  EXPECT_NEAR(arrivals[2], 0.003, 1e-12);
+}
+
+TEST(Port, QueueHoldsPacketsWhileBusy) {
+  sim::Simulator s;
+  int received = 0;
+  class CountSink : public sim::Node {
+   public:
+    CountSink(int& c) : Node(1, "c"), c_(c) {}
+    void receive(sim::Packet) override { ++c_; }
+    int& c_;
+  } sink(received);
+
+  sim::Port port(s, units::mbps(1), 0.0,
+                 std::make_unique<queue::DropTailQueue>(0, 2));
+  port.attach_peer(&sink);
+  sim::Packet pkt;
+  pkt.size_bytes = 125;  // 1 ms each
+  // First goes to the wire, next two fill the 2-packet queue, the rest drop.
+  for (int i = 0; i < 5; ++i) port.send(pkt);
+  EXPECT_EQ(port.disc().drops(), 2u);
+  s.run();
+  EXPECT_EQ(received, 3);
+}
+
+// --- network / routing ------------------------------------------------
+
+class Collector : public sim::PacketSink {
+ public:
+  void deliver(sim::Packet pkt) override { packets.push_back(pkt); }
+  std::vector<sim::Packet> packets;
+};
+
+TEST(Network, HostToHostThroughOneSwitch) {
+  sim::Network net;
+  auto& sw = net.add_switch("sw");
+  auto& a = net.add_host("a");
+  auto& b = net.add_host("b");
+  const auto q = queue::drop_tail(0, 0);
+  net.attach_host(a, sw, units::gbps(1), 1e-6, q, q);
+  net.attach_host(b, sw, units::gbps(1), 1e-6, q, q);
+  net.build_routes();
+
+  Collector col;
+  b.bind_flow(5, &col);
+  sim::Packet pkt;
+  pkt.flow = 5;
+  pkt.src = a.id();
+  pkt.dst = b.id();
+  pkt.size_bytes = 100;
+  a.send(pkt);
+  net.sim().run();
+  ASSERT_EQ(col.packets.size(), 1u);
+  EXPECT_EQ(col.packets[0].flow, 5u);
+  EXPECT_EQ(sw.unrouted_drops(), 0u);
+}
+
+TEST(Network, MultiHopRoutingAcrossSwitches) {
+  // a - sw1 - sw2 - sw3 - b : BFS routes must span the chain.
+  sim::Network net;
+  auto& sw1 = net.add_switch("sw1");
+  auto& sw2 = net.add_switch("sw2");
+  auto& sw3 = net.add_switch("sw3");
+  auto& a = net.add_host("a");
+  auto& b = net.add_host("b");
+  const auto q = queue::drop_tail(0, 0);
+  net.attach_host(a, sw1, units::gbps(1), 1e-6, q, q);
+  net.attach_host(b, sw3, units::gbps(1), 1e-6, q, q);
+  net.connect_switches(sw1, sw2, units::gbps(1), 1e-6, q, q);
+  net.connect_switches(sw2, sw3, units::gbps(1), 1e-6, q, q);
+  net.build_routes();
+
+  Collector col;
+  b.bind_flow(9, &col);
+  sim::Packet pkt;
+  pkt.flow = 9;
+  pkt.src = a.id();
+  pkt.dst = b.id();
+  pkt.size_bytes = 100;
+  a.send(pkt);
+  net.sim().run();
+  ASSERT_EQ(col.packets.size(), 1u);
+
+  // And the reverse direction.
+  Collector col_a;
+  a.bind_flow(10, &col_a);
+  sim::Packet rev;
+  rev.flow = 10;
+  rev.src = b.id();
+  rev.dst = a.id();
+  rev.size_bytes = 100;
+  b.send(rev);
+  net.sim().run();
+  ASSERT_EQ(col_a.packets.size(), 1u);
+}
+
+TEST(Network, UnroutablePacketCountedNotCrash) {
+  sim::Network net;
+  auto& sw = net.add_switch("sw");
+  auto& a = net.add_host("a");
+  const auto q = queue::drop_tail(0, 0);
+  net.attach_host(a, sw, units::gbps(1), 1e-6, q, q);
+  net.build_routes();
+  sim::Packet pkt;
+  pkt.flow = 1;
+  pkt.src = a.id();
+  pkt.dst = 999;  // nobody
+  pkt.size_bytes = 100;
+  a.send(pkt);
+  net.sim().run();
+  EXPECT_EQ(sw.unrouted_drops(), 1u);
+}
+
+TEST(Network, UnboundFlowAtHostCounted) {
+  sim::Network net;
+  auto& sw = net.add_switch("sw");
+  auto& a = net.add_host("a");
+  auto& b = net.add_host("b");
+  const auto q = queue::drop_tail(0, 0);
+  net.attach_host(a, sw, units::gbps(1), 1e-6, q, q);
+  net.attach_host(b, sw, units::gbps(1), 1e-6, q, q);
+  net.build_routes();
+  sim::Packet pkt;
+  pkt.flow = 77;  // not bound at b
+  pkt.src = a.id();
+  pkt.dst = b.id();
+  pkt.size_bytes = 100;
+  a.send(pkt);
+  net.sim().run();
+  EXPECT_EQ(b.unbound_drops(), 1u);
+}
+
+TEST(Network, FlowIdsAreUnique) {
+  sim::Network net;
+  const auto f1 = net.new_flow();
+  const auto f2 = net.new_flow();
+  EXPECT_NE(f1, f2);
+}
+
+}  // namespace
+}  // namespace dtdctcp

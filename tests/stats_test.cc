@@ -1,0 +1,217 @@
+// Unit tests for the statistics primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "stats/oscillation.h"
+#include "stats/percentile.h"
+#include "stats/streaming.h"
+#include "stats/time_series.h"
+#include "stats/time_weighted.h"
+
+namespace dtdctcp {
+namespace {
+
+TEST(Streaming, EmptyIsZero) {
+  stats::Streaming s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Streaming, SingleSample) {
+  stats::Streaming s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Streaming, KnownMoments) {
+  stats::Streaming s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(Streaming, MergeMatchesCombinedStream) {
+  std::mt19937 rng(11);
+  std::normal_distribution<double> dist(3.0, 2.0);
+  stats::Streaming a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(rng);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Streaming, MergeWithEmpty) {
+  stats::Streaming a, b;
+  a.add(1.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(TimeWeighted, ConstantSignal) {
+  stats::TimeWeighted tw;
+  tw.update(0.0, 7.0);
+  tw.finish(10.0);
+  EXPECT_DOUBLE_EQ(tw.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(tw.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(tw.duration(), 10.0);
+}
+
+TEST(TimeWeighted, StepFunctionMean) {
+  // 0 for 1s, 10 for 1s -> mean 5, variance 25.
+  stats::TimeWeighted tw;
+  tw.update(0.0, 0.0);
+  tw.update(1.0, 10.0);
+  tw.finish(2.0);
+  EXPECT_DOUBLE_EQ(tw.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(tw.variance(), 25.0);
+  EXPECT_DOUBLE_EQ(tw.min(), 0.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 10.0);
+}
+
+TEST(TimeWeighted, UnevenDurationsWeightCorrectly) {
+  // 2 for 3s, 8 for 1s -> mean (6+8)/4 = 3.5.
+  stats::TimeWeighted tw;
+  tw.update(0.0, 2.0);
+  tw.update(3.0, 8.0);
+  tw.finish(4.0);
+  EXPECT_DOUBLE_EQ(tw.mean(), 3.5);
+}
+
+TEST(TimeWeighted, SampleBiasAvoided) {
+  // Many rapid updates at value 1 for a short time, one long period at
+  // 0: the *time*-weighted mean must be near 0 even though most samples
+  // are 1.
+  stats::TimeWeighted tw;
+  for (int i = 0; i < 100; ++i) {
+    tw.update(i * 1e-6, 1.0);
+  }
+  tw.update(100e-6, 0.0);
+  tw.finish(1.0);
+  EXPECT_LT(tw.mean(), 0.001);
+}
+
+TEST(TimeWeighted, EmptyIsZero) {
+  stats::TimeWeighted tw;
+  EXPECT_TRUE(tw.empty());
+  EXPECT_DOUBLE_EQ(tw.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(tw.stddev(), 0.0);
+}
+
+TEST(TimeSeries, SummarizeFrom) {
+  stats::TimeSeries ts;
+  ts.add(0.0, 100.0);
+  ts.add(1.0, 2.0);
+  ts.add(2.0, 4.0);
+  const auto s = ts.summarize(0.5);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(TimeSeries, DownsampleKeepsEndpoints) {
+  stats::TimeSeries ts;
+  for (int i = 0; i < 1000; ++i) ts.add(i * 0.1, i);
+  const auto d = ts.downsample(10);
+  ASSERT_EQ(d.size(), 10u);
+  EXPECT_DOUBLE_EQ(d.samples().front().value, 0.0);
+  EXPECT_DOUBLE_EQ(d.samples().back().value, 999.0);
+}
+
+TEST(TimeSeries, DownsampleShortSeriesUnchanged) {
+  stats::TimeSeries ts;
+  ts.add(0.0, 1.0);
+  ts.add(1.0, 2.0);
+  EXPECT_EQ(ts.downsample(10).size(), 2u);
+}
+
+TEST(Percentile, ExactQuartiles) {
+  stats::PercentileTracker p;
+  for (int i = 1; i <= 101; ++i) p.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(50.0), 51.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100.0), 101.0);
+  EXPECT_DOUBLE_EQ(p.percentile(25.0), 26.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  stats::PercentileTracker p;
+  p.add(0.0);
+  p.add(10.0);
+  EXPECT_DOUBLE_EQ(p.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.percentile(75.0), 7.5);
+}
+
+TEST(Percentile, AddAfterQueryResorts) {
+  stats::PercentileTracker p;
+  p.add(5.0);
+  EXPECT_DOUBLE_EQ(p.median(), 5.0);
+  p.add(1.0);
+  EXPECT_DOUBLE_EQ(p.min(), 1.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  stats::Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(50.0);   // clamps to bin 9
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(5), 5.0);
+}
+
+TEST(Oscillation, RecoversSineFrequency) {
+  stats::TimeSeries t;
+  const double f = 140.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double time = i * 1e-4;
+    t.add(time, 40.0 + 10.0 * std::sin(2.0 * M_PI * f * time));
+  }
+  const auto est = stats::estimate_oscillation(t);
+  EXPECT_NEAR(est.frequency_hz, f, 2.0);
+  EXPECT_GT(est.cycles, 50u);
+  EXPECT_NEAR(est.mean, 40.0, 0.5);
+}
+
+TEST(Oscillation, FlatTraceReportsZero) {
+  stats::TimeSeries t;
+  for (int i = 0; i < 100; ++i) t.add(i * 0.01, 5.0);
+  const auto est = stats::estimate_oscillation(t);
+  EXPECT_DOUBLE_EQ(est.frequency_hz, 0.0);
+  EXPECT_EQ(est.cycles, 0u);
+}
+
+TEST(Oscillation, RespectsFromWindow) {
+  stats::TimeSeries t;
+  // Transient chirp first, then a clean 50 Hz tail.
+  for (int i = 0; i < 2000; ++i) {
+    const double time = i * 1e-3;
+    const double v = time < 1.0
+                         ? 100.0 * std::exp(-time)
+                         : 10.0 * std::sin(2.0 * M_PI * 50.0 * time);
+    t.add(time, v);
+  }
+  const auto est = stats::estimate_oscillation(t, 1.0);
+  EXPECT_NEAR(est.frequency_hz, 50.0, 3.0);
+}
+
+}  // namespace
+}  // namespace dtdctcp

@@ -1,0 +1,180 @@
+// Parameterized TCP correctness sweep: every congestion-control mode,
+// ACK policy, flow size, and bottleneck tightness must deliver the flow
+// exactly and without pathological retransmission behaviour.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "queue/factory.h"
+#include "sim/network.h"
+#include "tcp/connection.h"
+
+namespace dtdctcp {
+namespace {
+
+struct TransferCase {
+  tcp::CcMode mode;
+  bool delayed_ack;
+  std::int64_t segments;
+  std::size_t bottleneck_queue_pkts;  // 0 = unlimited
+};
+
+std::string case_name(const ::testing::TestParamInfo<TransferCase>& info) {
+  const auto& p = info.param;
+  std::string s;
+  switch (p.mode) {
+    case tcp::CcMode::kReno: s += "Reno"; break;
+    case tcp::CcMode::kEcnReno: s += "EcnReno"; break;
+    case tcp::CcMode::kDctcp: s += "Dctcp"; break;
+    case tcp::CcMode::kD2tcp: s += "D2tcp"; break;
+    case tcp::CcMode::kCubic: s += "Cubic"; break;
+  }
+  s += p.delayed_ack ? "Delack" : "Immediate";
+  s += "Segs" + std::to_string(p.segments);
+  s += "Q" + std::to_string(p.bottleneck_queue_pkts);
+  return s;
+}
+
+class TcpTransferSweep : public ::testing::TestWithParam<TransferCase> {};
+
+TEST_P(TcpTransferSweep, DeliversEverySegmentExactlyOnce) {
+  const TransferCase& tc = GetParam();
+
+  sim::Network net;
+  auto& sw = net.add_switch("sw");
+  auto& a = net.add_host("a");
+  auto& b = net.add_host("b");
+  const auto q = queue::drop_tail(0, 0);
+  // Marking queue so ECN modes actually exercise their reaction path.
+  const auto bneck =
+      tc.bottleneck_queue_pkts == 0
+          ? queue::ecn_threshold(0, 0, 20.0, queue::ThresholdUnit::kPackets)
+          : queue::ecn_threshold(0, tc.bottleneck_queue_pkts, 20.0,
+                                 queue::ThresholdUnit::kPackets);
+  net.attach_host(a, sw, units::gbps(1), 25e-6, q, q);
+  net.attach_host(b, sw, units::mbps(200), 25e-6, q, bneck);
+  net.build_routes();
+
+  tcp::TcpConfig cfg;
+  cfg.mode = tc.mode;
+  cfg.delayed_ack = tc.delayed_ack;
+  cfg.min_rto = 0.01;
+  cfg.init_rto = 0.01;
+
+  tcp::Connection conn(net, a, b, cfg, tc.segments);
+  conn.start_at(0.0);
+  net.sim().run();
+
+  // Correctness invariants.
+  EXPECT_TRUE(conn.sender().completed());
+  EXPECT_EQ(conn.sender().snd_una(), tc.segments);
+  EXPECT_EQ(conn.receiver().next_expected(), tc.segments);
+  // No retransmission storm: each sent segment is original or a bounded
+  // number of retries.
+  EXPECT_LE(conn.sender().segments_sent(),
+            static_cast<std::uint64_t>(tc.segments) +
+                3 * (conn.sender().retransmissions() + 1));
+  // The receiver saw at least every segment once.
+  EXPECT_GE(conn.receiver().segments_received(),
+            static_cast<std::uint64_t>(tc.segments));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndShapes, TcpTransferSweep,
+    ::testing::Values(
+        TransferCase{tcp::CcMode::kReno, false, 1, 0},
+        TransferCase{tcp::CcMode::kReno, false, 50, 0},
+        TransferCase{tcp::CcMode::kReno, false, 500, 16},
+        TransferCase{tcp::CcMode::kReno, true, 500, 16},
+        TransferCase{tcp::CcMode::kReno, false, 2000, 8},
+        TransferCase{tcp::CcMode::kEcnReno, false, 50, 0},
+        TransferCase{tcp::CcMode::kEcnReno, false, 500, 16},
+        TransferCase{tcp::CcMode::kEcnReno, true, 500, 16},
+        TransferCase{tcp::CcMode::kEcnReno, false, 2000, 8},
+        TransferCase{tcp::CcMode::kDctcp, false, 1, 0},
+        TransferCase{tcp::CcMode::kDctcp, false, 50, 0},
+        TransferCase{tcp::CcMode::kDctcp, false, 500, 16},
+        TransferCase{tcp::CcMode::kDctcp, true, 500, 16},
+        TransferCase{tcp::CcMode::kDctcp, true, 2000, 8},
+        TransferCase{tcp::CcMode::kDctcp, false, 2000, 8}),
+    case_name);
+
+// Fan-in sweep: K flows from distinct hosts into one sink must all
+// complete and split the bottleneck without starvation.
+class TcpFanInSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcpFanInSweep, AllFlowsCompleteAndNoneStarves) {
+  const int flows = GetParam();
+  sim::Network net;
+  auto& sw = net.add_switch("sw");
+  auto& sink = net.add_host("sink");
+  const auto q = queue::drop_tail(0, 0);
+  net.attach_host(sink, sw, units::mbps(500), 25e-6, q,
+                  queue::ecn_threshold(0, 64, 20.0,
+                                       queue::ThresholdUnit::kPackets));
+  std::vector<sim::Host*> hosts;
+  for (int i = 0; i < flows; ++i) {
+    auto& h = net.add_host("h" + std::to_string(i));
+    net.attach_host(h, sw, units::gbps(1), 25e-6, q, q);
+    hosts.push_back(&h);
+  }
+  net.build_routes();
+
+  tcp::TcpConfig cfg;
+  cfg.mode = tcp::CcMode::kDctcp;
+  cfg.min_rto = 0.01;
+  cfg.init_rto = 0.01;
+  constexpr std::int64_t kSegs = 300;
+  std::vector<std::unique_ptr<tcp::Connection>> conns;
+  for (auto* h : hosts) {
+    conns.push_back(
+        std::make_unique<tcp::Connection>(net, *h, sink, cfg, kSegs));
+    conns.back()->start_at(0.0);
+  }
+  net.sim().run();
+  for (int i = 0; i < flows; ++i) {
+    EXPECT_TRUE(conns[i]->sender().completed()) << "flow " << i;
+    EXPECT_EQ(conns[i]->receiver().next_expected(), kSegs) << "flow " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FanIn, TcpFanInSweep,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+// Mixed modes on one bottleneck: DCTCP and Reno coexist; everyone
+// finishes (TCP-friendliness smoke, not a fairness theorem).
+TEST(TcpMixedModes, DctcpAndRenoCoexist) {
+  sim::Network net;
+  auto& sw = net.add_switch("sw");
+  auto& sink = net.add_host("sink");
+  auto& h1 = net.add_host("h1");
+  auto& h2 = net.add_host("h2");
+  const auto q = queue::drop_tail(0, 0);
+  net.attach_host(sink, sw, units::mbps(200), 25e-6, q,
+                  queue::ecn_threshold(0, 64, 20.0,
+                                       queue::ThresholdUnit::kPackets));
+  net.attach_host(h1, sw, units::gbps(1), 25e-6, q, q);
+  net.attach_host(h2, sw, units::gbps(1), 25e-6, q, q);
+  net.build_routes();
+
+  tcp::TcpConfig dctcp;
+  dctcp.mode = tcp::CcMode::kDctcp;
+  dctcp.min_rto = 0.01;
+  dctcp.init_rto = 0.01;
+  tcp::TcpConfig reno;
+  reno.mode = tcp::CcMode::kReno;
+  reno.min_rto = 0.01;
+  reno.init_rto = 0.01;
+
+  tcp::Connection c1(net, h1, sink, dctcp, 2000);
+  tcp::Connection c2(net, h2, sink, reno, 2000);
+  c1.start_at(0.0);
+  c2.start_at(0.0);
+  net.sim().run();
+  EXPECT_TRUE(c1.sender().completed());
+  EXPECT_TRUE(c2.sender().completed());
+}
+
+}  // namespace
+}  // namespace dtdctcp

@@ -1,0 +1,108 @@
+// Packet-tracing subsystem tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "queue/ecn_threshold.h"
+#include "queue/factory.h"
+#include "sim/network.h"
+#include "sim/trace.h"
+#include "tcp/connection.h"
+
+namespace dtdctcp {
+namespace {
+
+TEST(Trace, RecordsEnqueueDequeueDropMark) {
+  queue::EcnThresholdQueue q(0, 3, 2.0, queue::ThresholdUnit::kPackets);
+  sim::RecordingTracer tracer;
+  q.set_trace(&tracer);
+
+  sim::Packet p;
+  p.size_bytes = 1500;
+  p.ect = true;
+  for (int i = 0; i < 4; ++i) {
+    sim::Packet x = p;
+    x.seq = i;
+    q.enqueue(x, 0.1 * i);
+  }
+  q.dequeue(1.0);
+
+  EXPECT_EQ(tracer.count("enq"), 3u);   // 3-packet limit
+  EXPECT_EQ(tracer.count("drop"), 1u);  // the 4th
+  EXPECT_EQ(tracer.count("mark"), 1u);  // the 3rd arrived at occupancy 2
+  EXPECT_EQ(tracer.count("deq"), 1u);
+  // Events carry the packet identity and time.
+  EXPECT_EQ(tracer.events.front().kind, "enq");
+  EXPECT_EQ(tracer.events.front().seq, 0);
+  EXPECT_DOUBLE_EQ(tracer.events.front().time, 0.0);
+}
+
+TEST(Trace, TextTracerFormatsOneLinePerEvent) {
+  std::ostringstream os;
+  sim::TextTracer tracer(os);
+  sim::Packet p;
+  p.flow = 7;
+  p.seq = 42;
+  p.size_bytes = 1500;
+  p.ce = true;
+  tracer.packet_event("enq", p, 0.000123);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("enq"), std::string::npos);
+  EXPECT_NE(line.find("flow=7"), std::string::npos);
+  EXPECT_NE(line.find("seq=42"), std::string::npos);
+  EXPECT_NE(line.find("CE"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(Trace, PortEmitsTxEvents) {
+  sim::Network net;
+  auto& sw = net.add_switch("sw");
+  auto& a = net.add_host("a");
+  auto& b = net.add_host("b");
+  const auto q = queue::drop_tail(0, 0);
+  net.attach_host(a, sw, units::gbps(1), 1e-6, q, q);
+  net.attach_host(b, sw, units::gbps(1), 1e-6, q, q);
+  net.build_routes();
+
+  sim::RecordingTracer tracer;
+  a.uplink().set_trace(&tracer);
+
+  tcp::TcpConfig cfg;
+  cfg.mode = tcp::CcMode::kReno;
+  tcp::Connection conn(net, a, b, cfg, 25);
+  conn.start_at(0.0);
+  net.sim().run();
+  // Every data segment left a's NIC exactly once (no losses here).
+  EXPECT_EQ(tracer.count("tx"), 25u);
+}
+
+TEST(Trace, EndToEndMarkCountMatchesDiscCounter) {
+  sim::Network net;
+  auto& sw = net.add_switch("sw");
+  auto& a = net.add_host("a");
+  auto& b = net.add_host("b");
+  const auto q = queue::drop_tail(0, 0);
+  net.attach_host(a, sw, units::gbps(1), 25e-6, q, q);
+  const auto port = net.attach_host(
+      b, sw, units::mbps(100), 25e-6, q,
+      queue::ecn_threshold(0, 0, 10.0, queue::ThresholdUnit::kPackets));
+  net.build_routes();
+
+  sim::RecordingTracer tracer;
+  sw.port(port).disc().set_trace(&tracer);
+
+  tcp::TcpConfig cfg;
+  cfg.mode = tcp::CcMode::kDctcp;
+  tcp::Connection conn(net, a, b, cfg, 0);
+  conn.start_at(0.0);
+  net.sim().run_until(0.1);
+  sw.port(port).disc().set_trace(nullptr);
+  EXPECT_EQ(tracer.count("mark"), sw.port(port).disc().marks());
+  EXPECT_GT(tracer.count("mark"), 0u);
+  // Conservation at the queue: enq == deq + still-queued.
+  EXPECT_EQ(tracer.count("enq"),
+            tracer.count("deq") + sw.port(port).disc().packets());
+}
+
+}  // namespace
+}  // namespace dtdctcp

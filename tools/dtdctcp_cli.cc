@@ -1,0 +1,243 @@
+// dtdctcp command-line tool: run the library's experiments without
+// writing C++.
+//
+//   dtdctcp_cli dumbbell --flows 60 --marking dt:30,50 --measure 0.3
+//   dtdctcp_cli incast   --flows 36 --marking dctcp:32768 --unit bytes
+//   dtdctcp_cli nyquist  --rtt-ms 1 --flows 80 --marking dt:30,50
+//   dtdctcp_cli fluid    --flows 80 --rtt-ms 1 --marking dctcp:40
+//   dtdctcp_cli fct      --load 0.6 --marking dt:15,25 --duration 0.5
+//
+// Marking syntax: "dctcp:<K>" or "dt:<K1>,<K2>" with thresholds in the
+// unit selected by --unit (packets by default).
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "core/dtdctcp.h"
+#include "util/args.h"
+
+using namespace dtdctcp;
+
+namespace {
+
+std::optional<core::MarkingConfig> parse_marking(const std::string& spec,
+                                                 queue::ThresholdUnit unit) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  const std::string kind = spec.substr(0, colon);
+  const std::string rest = spec.substr(colon + 1);
+  if (kind == "dctcp") {
+    return core::MarkingConfig::dctcp(std::atof(rest.c_str()), unit);
+  }
+  if (kind == "dt") {
+    const auto comma = rest.find(',');
+    if (comma == std::string::npos) return std::nullopt;
+    const double k1 = std::atof(rest.substr(0, comma).c_str());
+    const double k2 = std::atof(rest.substr(comma + 1).c_str());
+    if (k1 > k2) return std::nullopt;
+    return core::MarkingConfig::dt_dctcp(k1, k2, unit);
+  }
+  return std::nullopt;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dtdctcp_cli <dumbbell|incast|nyquist|fluid|fct> "
+               "[options]\n"
+               "common options:\n"
+               "  --flows N            number of flows (default 10)\n"
+               "  --marking SPEC       dctcp:<K> or dt:<K1>,<K2> "
+               "(default dctcp:40)\n"
+               "  --unit packets|bytes threshold unit (default packets)\n"
+               "dumbbell: --rate-gbps R --rtt-us T --buffer-pkts B "
+               "--measure S --warmup S --seed S\n"
+               "incast:   --bytes B --reps R --min-rto-ms M\n"
+               "nyquist:  --rtt-ms T --g G\n"
+               "fluid:    --rtt-ms T --g G --duration S\n"
+               "fct:      --load L --duration S --sack --pacing "
+               "--spines N --leaves N --hosts-per-leaf N\n");
+  return 2;
+}
+
+int run_dumbbell_cmd(const Args& args, const core::MarkingConfig& marking) {
+  core::DumbbellConfig cfg;
+  cfg.flows = static_cast<std::size_t>(args.get_int("flows", 10));
+  cfg.bottleneck_bps = units::gbps(args.get_double("rate-gbps", 10.0));
+  cfg.edge_bps = cfg.bottleneck_bps;
+  cfg.rtt = units::microseconds(args.get_double("rtt-us", 100.0));
+  cfg.marking = marking;
+  cfg.switch_buffer_packets =
+      static_cast<std::size_t>(args.get_int("buffer-pkts", 100));
+  cfg.warmup = args.get_double("warmup", 0.1);
+  cfg.measure = args.get_double("measure", 0.3);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto r = core::run_dumbbell(cfg);
+  std::printf("flows        %zu\n", cfg.flows);
+  std::printf("queue_mean   %.2f pkts\n", r.queue_mean);
+  std::printf("queue_stddev %.2f pkts\n", r.queue_stddev);
+  std::printf("queue_range  [%.0f, %.0f] pkts\n", r.queue_min, r.queue_max);
+  std::printf("alpha_mean   %.3f\n", r.alpha_mean);
+  std::printf("utilization  %.3f\n", r.utilization);
+  std::printf("marks        %llu\n",
+              static_cast<unsigned long long>(r.marks));
+  std::printf("drops        %llu\n",
+              static_cast<unsigned long long>(r.drops));
+  std::printf("timeouts     %llu\n",
+              static_cast<unsigned long long>(r.timeouts));
+  return 0;
+}
+
+int run_incast_cmd(const Args& args, const core::MarkingConfig& marking) {
+  core::IncastExperimentConfig cfg;
+  cfg.flows = static_cast<std::size_t>(args.get_int("flows", 9));
+  cfg.bytes_per_worker =
+      static_cast<std::size_t>(args.get_int("bytes", 64 * 1024));
+  cfg.repetitions = static_cast<std::size_t>(args.get_int("reps", 20));
+  cfg.tcp.mode = tcp::CcMode::kDctcp;
+  cfg.tcp.min_rto = args.get_double("min-rto-ms", 200.0) * 1e-3;
+  cfg.tcp.init_rto = cfg.tcp.min_rto;
+  cfg.testbed.marking = marking;
+  const auto r = core::run_incast(cfg);
+  std::printf("flows            %zu\n", cfg.flows);
+  std::printf("goodput_mean     %.1f Mbps\n", r.goodput_mean_bps / 1e6);
+  std::printf("completion_mean  %.2f ms\n", r.completion_mean_s * 1e3);
+  std::printf("completion_p99   %.2f ms\n", r.completion_p99_s * 1e3);
+  std::printf("completion_max   %.2f ms\n", r.completion_max_s * 1e3);
+  std::printf("timeouts         %llu\n",
+              static_cast<unsigned long long>(r.timeouts));
+  std::printf("drops            %llu\n",
+              static_cast<unsigned long long>(r.drops));
+  return 0;
+}
+
+int run_nyquist_cmd(const Args& args, const core::MarkingConfig& marking) {
+  analysis::PlantParams plant;
+  plant.capacity_pps = units::packets_per_second(
+      units::gbps(args.get_double("rate-gbps", 10.0)), 1500);
+  plant.flows = args.get_double("flows", 60.0);
+  plant.rtt = args.get_double("rtt-ms", 1.0) * 1e-3;
+  plant.g = args.get_double("g", 1.0 / 16.0);
+  const auto spec = marking.fluid_spec(1500);
+  const auto report = analysis::analyze(plant, spec);
+  std::printf("crossing_real      %.4f at w=%.1f rad/s\n",
+              report.crossing_real, report.crossing_omega);
+  std::printf("max_re_neg_recip   %.4f\n", report.max_real_neg_recip);
+  std::printf("verdict            %s\n",
+              report.intersects ? "LIMIT CYCLE PREDICTED" : "stable");
+  for (const auto& c : report.cycles) {
+    std::printf("cycle              X=%.1f pkts f=%.1f Hz (%s)\n",
+                c.amplitude, c.omega / (2.0 * M_PI),
+                c.stable ? "sustained" : "unstable");
+  }
+  const int crit = analysis::critical_flows(plant, spec, 2, 400);
+  std::printf("critical_flows     %d\n", crit);
+  return 0;
+}
+
+int run_fct_cmd(const Args& args, const core::MarkingConfig& marking) {
+  sim::LeafSpineConfig fab_cfg;
+  fab_cfg.spines = static_cast<std::size_t>(args.get_int("spines", 2));
+  fab_cfg.leaves = static_cast<std::size_t>(args.get_int("leaves", 4));
+  fab_cfg.hosts_per_leaf =
+      static_cast<std::size_t>(args.get_int("hosts-per-leaf", 4));
+  fab_cfg.host_link_bps = units::gbps(args.get_double("host-gbps", 1.0));
+  fab_cfg.fabric_link_bps =
+      units::gbps(args.get_double("fabric-gbps", 4.0));
+  auto fab = sim::build_leaf_spine(
+      fab_cfg, marking.queue_factory(0, 250));
+
+  tcp::TcpConfig tcp_cfg;
+  tcp_cfg.mode = tcp::CcMode::kDctcp;
+  tcp_cfg.sack_enabled = args.has("sack");
+  tcp_cfg.pacing = args.has("pacing");
+  tcp_cfg.min_rto = 0.01;
+  tcp_cfg.init_rto = 0.01;
+
+  workload::PoissonConfig wl;
+  wl.sizes = workload::FlowSizeDist::websearch();
+  const double load = args.get_double("load", 0.5);
+  const double capacity = static_cast<double>(fab.hosts.size()) *
+                          fab_cfg.host_link_bps / 2.0;
+  wl.arrivals_per_sec =
+      workload::arrival_rate_for_load(load, capacity, wl.sizes, 1500);
+  wl.duration = args.get_double("duration", 1.0);
+  wl.seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+
+  workload::PoissonFlowGenerator gen(*fab.net, fab.hosts, fab.hosts,
+                                     tcp_cfg, wl);
+  gen.start(0.0);
+  fab.net->sim().run();
+
+  std::printf("load             %.2f (%.0f flows/s)\n", load,
+              wl.arrivals_per_sec);
+  std::printf("flows            %zu completed of %zu started\n",
+              gen.flows_completed(), gen.flows_started());
+  std::printf("small  mean/p99  %.2f / %.2f ms (%zu flows)\n",
+              gen.fct_small().mean() * 1e3, gen.fct_small().p99() * 1e3,
+              gen.fct_small().count());
+  std::printf("medium mean/p99  %.2f / %.2f ms (%zu flows)\n",
+              gen.fct_medium().mean() * 1e3, gen.fct_medium().p99() * 1e3,
+              gen.fct_medium().count());
+  std::printf("large  mean/p99  %.2f / %.2f ms (%zu flows)\n",
+              gen.fct_large().mean() * 1e3, gen.fct_large().p99() * 1e3,
+              gen.fct_large().count());
+  std::printf("timeouts         %llu\n",
+              static_cast<unsigned long long>(gen.total_timeouts()));
+  return 0;
+}
+
+int run_fluid_cmd(const Args& args, const core::MarkingConfig& marking) {
+  fluid::FluidParams p;
+  p.capacity_pps = units::packets_per_second(
+      units::gbps(args.get_double("rate-gbps", 10.0)), 1500);
+  p.flows = args.get_double("flows", 60.0);
+  p.rtt = args.get_double("rtt-ms", 1.0) * 1e-3;
+  p.g = args.get_double("g", 1.0 / 16.0);
+  p.marking = marking.fluid_spec(1500);
+  p.dynamic_rtt = args.has("dynamic-rtt");
+  const double duration = args.get_double("duration", 2.0);
+
+  fluid::FluidModel m(p);
+  auto s = fluid::operating_point(p);
+  s.q += 5.0;
+  m.set_state(s);
+  m.run(duration / 2.0);
+  stats::TimeSeries trace;
+  m.run(duration / 2.0, &trace, p.rtt);
+  const auto sum = trace.summarize(0);
+  std::printf("operating_point  W0=%.2f alpha0=%.3f\n",
+              fluid::operating_point(p).w, fluid::operating_point(p).alpha);
+  std::printf("queue_mean       %.1f pkts\n", sum.mean());
+  std::printf("queue_stddev     %.1f pkts\n", sum.stddev());
+  std::printf("amplitude        %.1f pkts\n",
+              fluid::oscillation_amplitude(trace, 0.0));
+  std::printf("final            W=%.2f alpha=%.3f q=%.1f\n", m.state().w,
+              m.state().alpha, m.state().q);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = Args::parse(argc, argv);
+  if (!parsed || parsed->positional().empty()) return usage();
+  const Args& args = *parsed;
+  const std::string cmd = args.positional().front();
+
+  const queue::ThresholdUnit unit = args.get("unit", "packets") == "bytes"
+                                        ? queue::ThresholdUnit::kBytes
+                                        : queue::ThresholdUnit::kPackets;
+  const auto marking = parse_marking(args.get("marking", "dctcp:40"), unit);
+  if (!marking) {
+    std::fprintf(stderr, "bad --marking spec\n");
+    return usage();
+  }
+
+  if (cmd == "dumbbell") return run_dumbbell_cmd(args, *marking);
+  if (cmd == "incast") return run_incast_cmd(args, *marking);
+  if (cmd == "nyquist") return run_nyquist_cmd(args, *marking);
+  if (cmd == "fluid") return run_fluid_cmd(args, *marking);
+  if (cmd == "fct") return run_fct_cmd(args, *marking);
+  return usage();
+}
