@@ -5,10 +5,12 @@
 // two mark points across the flow sweep (single threshold, K = 40).
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "bench/sweep_common.h"
 #include "queue/ecn_threshold.h"
+#include "runner/runner.h"
 
 using namespace dtdctcp;
 
@@ -28,17 +30,30 @@ core::DumbbellResult run_point(std::size_t flows, queue::MarkPoint mp) {
 int main() {
   bench::header("Ablation", "ECN mark point: arrival vs dequeue (K = 40)");
   std::printf("dumbbell sweep config as Figure 10\n\n");
+
+  const std::vector<std::size_t> flow_counts = {10, 25, 50, 75, 100};
+  // One job per (N, mark point): even index arrival, odd dequeue.
+  runner::RunnerTelemetry tm;
+  const auto results = runner::run_jobs(
+      flow_counts.size() * 2,
+      [&](std::size_t job) {
+        return run_point(flow_counts[job / 2],
+                         job % 2 == 0 ? queue::MarkPoint::kArrival
+                                      : queue::MarkPoint::kDequeue);
+      },
+      bench::runner_options("markpoint"), &tm);
+  bench::report_telemetry("markpoint", tm);
+
   std::printf("%5s | %10s %10s %8s | %10s %10s %8s\n", "N", "arr_mean",
               "arr_sd", "arr_to", "deq_mean", "deq_sd", "deq_to");
-  for (std::size_t n : {10, 25, 50, 75, 100}) {
-    const auto a = run_point(n, queue::MarkPoint::kArrival);
-    const auto d = run_point(n, queue::MarkPoint::kDequeue);
-    std::printf("%5zu | %10.1f %10.2f %8llu | %10.1f %10.2f %8llu\n", n,
-                a.queue_mean, a.queue_stddev,
+  for (std::size_t i = 0; i < flow_counts.size(); ++i) {
+    const auto& a = results[2 * i];
+    const auto& d = results[2 * i + 1];
+    std::printf("%5zu | %10.1f %10.2f %8llu | %10.1f %10.2f %8llu\n",
+                flow_counts[i], a.queue_mean, a.queue_stddev,
                 static_cast<unsigned long long>(a.timeouts), d.queue_mean,
                 d.queue_stddev,
                 static_cast<unsigned long long>(d.timeouts));
-    std::fflush(stdout);
   }
   bench::expectation(
       "Dequeue marking reacts to congestion one queueing delay sooner; "

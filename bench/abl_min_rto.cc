@@ -5,9 +5,11 @@
 // milliseconds, which is the classic Incast mitigation this bench
 // quantifies against DT-DCTCP's.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "core/incast_experiment.h"
+#include "runner/runner.h"
 
 using namespace dtdctcp;
 
@@ -37,20 +39,34 @@ int main() {
   std::printf("testbed as Figure 14, %zu repetitions per point\n\n",
               bench::scaled_count(30, 5));
 
-  for (double rto_ms : {200.0, 50.0, 10.0}) {
+  const std::vector<double> rtos_ms = {200.0, 50.0, 10.0};
+  const std::vector<std::size_t> fan_ins = {24, 32, 36, 40, 44, 48};
+  // Job index: (rto, n, protocol) in row-major order, DC before DT.
+  runner::RunnerTelemetry tm;
+  const auto results = runner::run_jobs(
+      rtos_ms.size() * fan_ins.size() * 2,
+      [&](std::size_t job) {
+        const double rto_ms = rtos_ms[job / (fan_ins.size() * 2)];
+        const std::size_t n = fan_ins[(job / 2) % fan_ins.size()];
+        return run_point(n, /*dt=*/job % 2 == 1, rto_ms * 1e-3);
+      },
+      bench::runner_options("minrto"), &tm);
+  bench::report_telemetry("minrto", tm);
+
+  for (std::size_t r = 0; r < rtos_ms.size(); ++r) {
+    const double rto_ms = rtos_ms[r];
     bench::section(rto_ms == 200.0 ? "min-RTO 200 ms (paper-era default)"
                    : rto_ms == 50.0 ? "min-RTO 50 ms"
                                     : "min-RTO 10 ms (datacenter-tuned)");
     std::printf("%5s %14s %14s %10s %10s\n", "n", "DC_Mbps", "DT_Mbps",
                 "DC_to", "DT_to");
-    for (std::size_t n : {24, 32, 36, 40, 44, 48}) {
-      const auto dc = run_point(n, false, rto_ms * 1e-3);
-      const auto dt = run_point(n, true, rto_ms * 1e-3);
-      std::printf("%5zu %14.1f %14.1f %10llu %10llu\n", n,
+    for (std::size_t i = 0; i < fan_ins.size(); ++i) {
+      const auto& dc = results[(r * fan_ins.size() + i) * 2];
+      const auto& dt = results[(r * fan_ins.size() + i) * 2 + 1];
+      std::printf("%5zu %14.1f %14.1f %10llu %10llu\n", fan_ins[i],
                   dc.goodput_mean_bps / 1e6, dt.goodput_mean_bps / 1e6,
                   static_cast<unsigned long long>(dc.timeouts),
                   static_cast<unsigned long long>(dt.timeouts));
-      std::fflush(stdout);
     }
   }
 

@@ -6,9 +6,11 @@
 // them with the two marking schemes at the collapse boundary.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "core/incast_experiment.h"
+#include "runner/runner.h"
 
 using namespace dtdctcp;
 
@@ -55,20 +57,34 @@ int main() {
       {"+SACK+pacing+10ms RTO", true, true, 0.01},
   };
 
-  for (std::size_t n : {36, 40, 44}) {
-    bench::section(("n = " + std::to_string(n) + " synchronized flows")
-                       .c_str());
+  const std::vector<std::size_t> fan_ins = {36, 40, 44};
+  const std::size_t n_mit = std::size(mitigations);
+  // Job index: (n, mitigation, protocol) in row-major order, DC first.
+  runner::RunnerTelemetry tm;
+  const auto results = runner::run_jobs(
+      fan_ins.size() * n_mit * 2,
+      [&](std::size_t job) {
+        const std::size_t n = fan_ins[job / (n_mit * 2)];
+        const auto& m = mitigations[(job / 2) % n_mit];
+        return run_point(n, /*dt=*/job % 2 == 1, m);
+      },
+      bench::runner_options("mitigations"), &tm);
+  bench::report_telemetry("mitigations", tm);
+
+  for (std::size_t ni = 0; ni < fan_ins.size(); ++ni) {
+    bench::section(
+        ("n = " + std::to_string(fan_ins[ni]) + " synchronized flows")
+            .c_str());
     std::printf("%-24s | %12s %8s | %12s %8s\n", "mitigation", "DC_Mbps",
                 "DC_to", "DT_Mbps", "DT_to");
-    for (const auto& m : mitigations) {
-      const auto dc = run_point(n, false, m);
-      const auto dt = run_point(n, true, m);
-      std::printf("%-24s | %12.1f %8llu | %12.1f %8llu\n", m.name,
-                  dc.goodput_mean_bps / 1e6,
+    for (std::size_t mi = 0; mi < n_mit; ++mi) {
+      const auto& dc = results[(ni * n_mit + mi) * 2];
+      const auto& dt = results[(ni * n_mit + mi) * 2 + 1];
+      std::printf("%-24s | %12.1f %8llu | %12.1f %8llu\n",
+                  mitigations[mi].name, dc.goodput_mean_bps / 1e6,
                   static_cast<unsigned long long>(dc.timeouts),
                   dt.goodput_mean_bps / 1e6,
                   static_cast<unsigned long long>(dt.timeouts));
-      std::fflush(stdout);
     }
   }
 

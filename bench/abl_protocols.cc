@@ -4,12 +4,14 @@
 // queue occupancy, loss, and utilization at two flow counts.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "bench/sweep_common.h"
 #include "queue/codel.h"
 #include "queue/pie.h"
 #include "queue/red.h"
+#include "runner/runner.h"
 
 using namespace dtdctcp;
 
@@ -84,18 +86,29 @@ int main() {
       {"DT-DCTCP(30,50)", tcp::CcMode::kDctcp, 3},
   };
 
-  for (std::size_t flows : {10, 60}) {
-    bench::section(flows == 10 ? "N = 10 flows" : "N = 60 flows");
+  const std::vector<std::size_t> flow_counts = {10, 60};
+  const std::size_t n_cases = std::size(cases);
+  // Job index: (flow count, stack) in row-major order.
+  runner::RunnerTelemetry tm;
+  const auto results = runner::run_jobs(
+      flow_counts.size() * n_cases,
+      [&](std::size_t job) {
+        return run_case(cases[job % n_cases], flow_counts[job / n_cases]);
+      },
+      bench::runner_options("protocols"), &tm);
+  bench::report_telemetry("protocols", tm);
+
+  for (std::size_t fi = 0; fi < flow_counts.size(); ++fi) {
+    bench::section(flow_counts[fi] == 10 ? "N = 10 flows" : "N = 60 flows");
     std::printf("%-32s %8s %8s %8s %8s %8s\n", "stack", "qmean", "qsd",
                 "drops", "to", "util");
-    for (const auto& pc : cases) {
-      const auto r = run_case(pc, flows);
-      std::printf("%-32s %8.1f %8.2f %8llu %8llu %8.3f\n", pc.name,
+    for (std::size_t ci = 0; ci < n_cases; ++ci) {
+      const auto& r = results[fi * n_cases + ci];
+      std::printf("%-32s %8.1f %8.2f %8llu %8llu %8.3f\n", cases[ci].name,
                   r.queue_mean, r.queue_stddev,
                   static_cast<unsigned long long>(r.drops),
                   static_cast<unsigned long long>(r.timeouts),
                   r.utilization);
-      std::fflush(stdout);
     }
   }
 

@@ -4,9 +4,11 @@
 // completions (see queue/ecn_hysteresis.h) against DCTCP across the
 // flow sweep, plus a RED baseline for context.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "bench/sweep_common.h"
+#include "runner/runner.h"
 
 using namespace dtdctcp;
 
@@ -46,16 +48,27 @@ int main() {
   std::printf("dumbbell sweep config as Figure 10; columns are queue "
               "stddev (pkts) / alpha\n\n");
 
+  const std::vector<std::size_t> flow_counts = {10, 20, 35, 50, 65, 80, 100};
+  constexpr std::size_t kVariants = 4;
+  runner::RunnerTelemetry tm;
+  const auto results = runner::run_jobs(
+      flow_counts.size() * kVariants,
+      [&](std::size_t job) {
+        return run_variant(flow_counts[job / kVariants],
+                           static_cast<int>(job % kVariants));
+      },
+      bench::runner_options("variants"), &tm);
+  bench::report_telemetry("variants", tm);
+
   std::printf("%5s | %16s %16s %16s %16s\n", "N", "DCTCP", "DT-trendpeak",
               "DT-draintostart", "DT-halfband");
-  for (std::size_t n : {10, 20, 35, 50, 65, 80, 100}) {
-    std::printf("%5zu |", n);
-    for (int v = 0; v < 4; ++v) {
-      const auto r = run_variant(n, v);
+  for (std::size_t i = 0; i < flow_counts.size(); ++i) {
+    std::printf("%5zu |", flow_counts[i]);
+    for (std::size_t v = 0; v < kVariants; ++v) {
+      const auto& r = results[i * kVariants + v];
       std::printf("   %6.2f/%-7.3f", r.queue_stddev, r.alpha_mean);
     }
     std::printf("\n");
-    std::fflush(stdout);
   }
 
   bench::expectation(

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/runner.h"
 #include "util/csv.h"
 #include "util/env.h"
 
@@ -46,6 +47,31 @@ inline std::size_t scaled_count(std::size_t value, std::size_t min_value) {
   const double v = static_cast<double>(value) * dtdctcp::bench_scale();
   const auto n = static_cast<std::size_t>(v + 0.5);
   return n < min_value ? min_value : n;
+}
+
+/// Runner options with the standard bench progress line on stderr:
+///   [tag] 12/57 jobs done (last 0.82s)
+/// Progress order follows completion, so it may interleave differently
+/// between runs; the tables/CSV on stdout are printed from the ordered
+/// result vector and stay byte-identical for any worker count.
+inline runner::RunnerOptions runner_options(const char* tag) {
+  runner::RunnerOptions opts;
+  opts.progress = [tag](const runner::Progress& p) {
+    std::fprintf(stderr, "  [%s] %zu/%zu jobs done (last %.2fs)\n", tag,
+                 p.completed, p.total, p.job_seconds);
+  };
+  return opts;
+}
+
+/// Prints the runner's timing telemetry (wall clock, aggregate job
+/// time, parallel speedup) on stderr after a sweep.
+inline void report_telemetry(const char* tag,
+                             const runner::RunnerTelemetry& tm) {
+  std::fprintf(stderr,
+               "  [%s] %zu jobs on %zu workers: %.2fs wall, %.2fs of "
+               "simulation (%.2fx speedup, slowest job %.2fs)\n",
+               tag, tm.jobs, tm.workers, tm.wall_seconds,
+               tm.job_seconds_total, tm.speedup(), tm.job_seconds_max);
 }
 
 /// Writes plot-ready CSV next to the printed table when DTDCTCP_CSV_DIR

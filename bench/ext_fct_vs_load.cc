@@ -4,9 +4,11 @@
 // process of web-search-like flows (synthetic heavy-tailed mix; the
 // original traces are proprietary) arrives between random host pairs.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "queue/factory.h"
+#include "runner/runner.h"
 #include "sim/leaf_spine.h"
 #include "workload/poisson_flows.h"
 
@@ -77,16 +79,27 @@ int main() {
               "DTsm_p99", "DTlg_mean", "DT_to");
   std::printf("%6s | %11s %11s %11s %6s | %11s %11s %11s %6s\n", "",
               "(ms)", "(ms)", "(ms)", "", "(ms)", "(ms)", "(ms)", "");
-  for (double load : {0.2, 0.4, 0.6, 0.8}) {
-    const auto dc = run_load(load, false);
-    const auto dt = run_load(load, true);
+  const std::vector<double> loads = {0.2, 0.4, 0.6, 0.8};
+  // One job per (load, marking): even index DCTCP, odd DT-DCTCP.
+  runner::RunnerTelemetry tm;
+  const auto results = runner::run_jobs(
+      loads.size() * 2,
+      [&](std::size_t job) {
+        return run_load(loads[job / 2], /*dt=*/job % 2 == 1);
+      },
+      bench::runner_options("fct"), &tm);
+  bench::report_telemetry("fct", tm);
+
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const auto& dc = results[2 * i];
+    const auto& dt = results[2 * i + 1];
     std::printf("%6.1f | %11.2f %11.2f %11.1f %6llu | %11.2f %11.2f "
                 "%11.1f %6llu\n",
-                load, dc.small_mean_ms, dc.small_p99_ms, dc.large_mean_ms,
+                loads[i], dc.small_mean_ms, dc.small_p99_ms,
+                dc.large_mean_ms,
                 static_cast<unsigned long long>(dc.timeouts),
                 dt.small_mean_ms, dt.small_p99_ms, dt.large_mean_ms,
                 static_cast<unsigned long long>(dt.timeouts));
-    std::fflush(stdout);
   }
 
   bench::expectation(

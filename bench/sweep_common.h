@@ -10,11 +10,12 @@
 // EXPERIMENTS.md).
 #pragma once
 
-#include <cstdio>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "core/dumbbell.h"
+#include "runner/runner.h"
+#include "util/rng.h"
 
 namespace dtdctcp::bench {
 
@@ -42,24 +43,49 @@ inline core::DumbbellConfig sweep_config(std::size_t flows, bool dt) {
   return cfg;
 }
 
+/// Base seed of the flow sweep; each (N, variant) job derives its own
+/// simulation seed from this with `derive_seed(kSweepSeed, job)`.
+inline constexpr std::uint64_t kSweepSeed = 1;
+
 /// Runs the paper's N = 10..100 step 5 sweep: DCTCP plus both DT-DCTCP
 /// packet-level readings (the loop of Fig. 2b and the half-band
 /// interpretation — see queue/ecn_hysteresis.h and EXPERIMENTS.md).
+///
+/// The 19 x 3 grid of independent simulations goes through the parallel
+/// runner (worker count from DTDCTCP_JOBS, 1 = serial); results are
+/// collected by job index, so the returned vector — and every table or
+/// CSV printed from it — is identical for any worker count.
 inline std::vector<SweepPoint> run_flow_sweep() {
-  std::vector<SweepPoint> points;
-  for (std::size_t n = 10; n <= 100; n += 5) {
-    SweepPoint pt;
-    pt.flows = n;
-    pt.dc = core::run_dumbbell(sweep_config(n, /*dt=*/false));
-    pt.dt = core::run_dumbbell(sweep_config(n, /*dt=*/true));
-    auto band = sweep_config(n, /*dt=*/true);
-    band.marking = core::MarkingConfig::dt_dctcp(
-        30.0, 50.0, queue::ThresholdUnit::kPackets,
-        queue::HysteresisVariant::kHalfBand);
-    pt.dt_band = core::run_dumbbell(band);
-    points.push_back(pt);
-    std::fprintf(stderr, "  [sweep] N=%zu done\n", n);
+  std::vector<std::size_t> flow_counts;
+  for (std::size_t n = 10; n <= 100; n += 5) flow_counts.push_back(n);
+
+  std::vector<SweepPoint> points(flow_counts.size());
+  for (std::size_t i = 0; i < flow_counts.size(); ++i) {
+    points[i].flows = flow_counts[i];
   }
+  constexpr std::size_t kVariants = 3;  // dc, dt loop, dt half-band
+  runner::RunnerTelemetry tm;
+  runner::run_indexed(
+      flow_counts.size() * kVariants,
+      [&](std::size_t job) {
+        const std::size_t i = job / kVariants;
+        const std::size_t variant = job % kVariants;
+        auto cfg = sweep_config(flow_counts[i], /*dt=*/variant != 0);
+        if (variant == 2) {
+          cfg.marking = core::MarkingConfig::dt_dctcp(
+              30.0, 50.0, queue::ThresholdUnit::kPackets,
+              queue::HysteresisVariant::kHalfBand);
+        }
+        cfg.seed = derive_seed(kSweepSeed, job);
+        const auto result = core::run_dumbbell(cfg);
+        switch (variant) {
+          case 0: points[i].dc = result; break;
+          case 1: points[i].dt = result; break;
+          default: points[i].dt_band = result; break;
+        }
+      },
+      runner_options("sweep"), &tm);
+  report_telemetry("sweep", tm);
   return points;
 }
 

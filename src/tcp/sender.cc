@@ -227,9 +227,14 @@ void TcpSender::update_rtt(const sim::Packet& ack) {
 void TcpSender::dctcp_account(const sim::Packet& ack,
                               std::int64_t newly_acked) {
   if (cfg_.mode != CcMode::kDctcp && cfg_.mode != CcMode::kD2tcp) return;
-  // Count segments covered by this ACK; dup ACKs contribute their echo
-  // with weight one so marks seen during loss episodes are not lost.
-  const std::int64_t weight = std::max<std::int64_t>(newly_acked, 1);
+  // Count segments covered by this ACK. A dup ACK advances nothing, so
+  // it contributes symmetrically: weight one in *both* terms when it
+  // carries the echo (marks seen during loss episodes are not lost),
+  // and in neither term otherwise — an ece-less dup ACK that inflated
+  // only the denominator would dilute the marked fraction and bias
+  // alpha low exactly when the network is most congested.
+  const std::int64_t weight =
+      newly_acked > 0 ? newly_acked : (ack.ece ? 1 : 0);
   acked_in_window_ += weight;
   if (ack.ece) marked_in_window_ += weight;
 
@@ -291,20 +296,28 @@ double TcpSender::d2tcp_urgency() const {
 }
 
 void TcpSender::grow_cwnd(std::int64_t newly_acked) {
+  double credit = static_cast<double>(newly_acked);
   if (cwnd_ < ssthresh_) {
-    // Slow start: one segment per newly-acked segment.
-    set_cwnd(std::min(cwnd_ + static_cast<double>(newly_acked), ssthresh_));
-    return;
+    // Slow start: one segment per newly-acked segment. The ACK that
+    // crosses ssthresh keeps its excess as congestion-avoidance credit
+    // (RFC 5681 §3.1) instead of discarding it at the clamp.
+    const double room = ssthresh_ - cwnd_;
+    if (credit <= room) {
+      set_cwnd(cwnd_ + credit);
+      return;
+    }
+    set_cwnd(ssthresh_);
+    credit -= room;
   }
   if (cfg_.mode == CcMode::kCubic) {
-    cubic_grow(newly_acked);
+    cubic_grow(credit);
     return;
   }
   // Congestion avoidance: ~one segment per RTT.
-  set_cwnd(cwnd_ + static_cast<double>(newly_acked) / std::max(1.0, cwnd_));
+  set_cwnd(cwnd_ + credit / std::max(1.0, cwnd_));
 }
 
-void TcpSender::cubic_grow(std::int64_t newly_acked) {
+void TcpSender::cubic_grow(double newly_acked) {
   // RFC 8312: W_cubic(t) = C*(t - K)^3 + w_max around the last loss
   // event, with the TCP-friendly region as a floor.
   const SimTime now = sim_.now();
@@ -326,12 +339,10 @@ void TcpSender::cubic_grow(std::int64_t newly_acked) {
                            ((now - cubic_epoch_) / std::max(rtt, 1e-9));
   const double goal = std::max(target, w_tcp);
   if (goal > cwnd_) {
-    set_cwnd(cwnd_ + static_cast<double>(newly_acked) * (goal - cwnd_) /
-                         std::max(1.0, cwnd_));
+    set_cwnd(cwnd_ + newly_acked * (goal - cwnd_) / std::max(1.0, cwnd_));
   } else {
     // In the concave plateau: creep forward slowly.
-    set_cwnd(cwnd_ + static_cast<double>(newly_acked) * 0.01 /
-                         std::max(1.0, cwnd_));
+    set_cwnd(cwnd_ + newly_acked * 0.01 / std::max(1.0, cwnd_));
   }
 }
 

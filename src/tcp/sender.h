@@ -87,7 +87,7 @@ class TcpSender final : public sim::PacketSink {
   void maybe_ecn_reduce(const sim::Packet& ack);
   double d2tcp_urgency() const;
   void grow_cwnd(std::int64_t newly_acked);
-  void cubic_grow(std::int64_t newly_acked);
+  void cubic_grow(double newly_acked);
   void try_send();
   void send_segment(std::int64_t seq, bool retransmit);
   void enter_fast_recovery(const sim::Packet& ack);

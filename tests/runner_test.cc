@@ -1,0 +1,205 @@
+// Parallel experiment runner: scheduling correctness, determinism of
+// parallel vs serial execution, telemetry, and worker-count resolution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/dumbbell.h"
+#include "runner/runner.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace dtdctcp {
+namespace {
+
+TEST(Runner, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 100;
+  std::vector<std::atomic<int>> hits(kCount);
+  runner::RunnerOptions opts;
+  opts.jobs = 4;
+  runner::run_indexed(
+      kCount, [&](std::size_t i) { hits[i].fetch_add(1); }, opts);
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Runner, ResultsOrderedByIndexNotCompletion) {
+  runner::RunnerOptions opts;
+  opts.jobs = 4;
+  const auto results = runner::run_jobs(
+      64, [](std::size_t i) { return i * i; }, opts);
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(Runner, ZeroJobsIsANoOp) {
+  runner::RunnerTelemetry tm;
+  runner::run_indexed(0, [](std::size_t) { FAIL(); }, {}, &tm);
+  EXPECT_EQ(tm.jobs, 0u);
+}
+
+TEST(Runner, SerialPathRunsInIndexOrder) {
+  runner::RunnerOptions opts;
+  opts.jobs = 1;
+  std::vector<std::size_t> order;
+  runner::run_indexed(10, [&](std::size_t i) { order.push_back(i); }, opts);
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Runner, ProgressReportsEveryJobWithMonotonicCount) {
+  runner::RunnerOptions opts;
+  opts.jobs = 4;
+  std::size_t last_completed = 0;
+  std::set<std::size_t> seen;
+  opts.progress = [&](const runner::Progress& p) {
+    // Serialized by the runner: no lock needed here.
+    EXPECT_EQ(p.completed, last_completed + 1);
+    EXPECT_EQ(p.total, 32u);
+    EXPECT_GE(p.job_seconds, 0.0);
+    last_completed = p.completed;
+    EXPECT_TRUE(seen.insert(p.index).second) << "index reported twice";
+  };
+  runner::run_indexed(32, [](std::size_t) {}, opts);
+  EXPECT_EQ(last_completed, 32u);
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(Runner, TelemetryCountsJobsAndTime) {
+  runner::RunnerOptions opts;
+  opts.jobs = 2;
+  runner::RunnerTelemetry tm;
+  runner::run_indexed(
+      8,
+      [](std::size_t) {
+        // Enough work to register nonzero per-job time.
+        volatile double x = 0.0;
+        for (int i = 0; i < 100000; ++i) x = x + 1.0;
+      },
+      opts, &tm);
+  EXPECT_EQ(tm.jobs, 8u);
+  EXPECT_EQ(tm.workers, 2u);
+  EXPECT_GT(tm.wall_seconds, 0.0);
+  EXPECT_GT(tm.job_seconds_total, 0.0);
+  EXPECT_GE(tm.job_seconds_max, tm.job_seconds_total / 8.0);
+  EXPECT_GT(tm.speedup(), 0.0);
+}
+
+TEST(Runner, WorkersNeverExceedJobCount) {
+  runner::RunnerOptions opts;
+  opts.jobs = 16;
+  runner::RunnerTelemetry tm;
+  runner::run_indexed(3, [](std::size_t) {}, opts, &tm);
+  EXPECT_EQ(tm.workers, 3u);
+}
+
+TEST(Runner, FirstExceptionPropagates) {
+  runner::RunnerOptions opts;
+  opts.jobs = 4;
+  EXPECT_THROW(
+      runner::run_indexed(
+          16,
+          [](std::size_t i) {
+            if (i == 5) throw std::runtime_error("job 5 failed");
+          },
+          opts),
+      std::runtime_error);
+}
+
+TEST(Runner, DefaultJobsReadsEnvKnob) {
+  runner::set_jobs_override(0);
+  setenv("DTDCTCP_JOBS", "3", 1);
+  EXPECT_EQ(runner::default_jobs(), 3u);
+  unsetenv("DTDCTCP_JOBS");
+  EXPECT_GE(runner::default_jobs(), 1u);
+}
+
+TEST(Runner, JobsOverrideBeatsEnvKnob) {
+  setenv("DTDCTCP_JOBS", "3", 1);
+  runner::set_jobs_override(7);
+  EXPECT_EQ(runner::default_jobs(), 7u);
+  runner::set_jobs_override(0);
+  unsetenv("DTDCTCP_JOBS");
+}
+
+// --- determinism of real simulation workloads ---------------------------
+
+core::DumbbellConfig small_dumbbell(std::size_t flows, std::uint64_t seed) {
+  core::DumbbellConfig cfg;
+  cfg.flows = flows;
+  cfg.bottleneck_bps = units::gbps(1);
+  cfg.edge_bps = units::gbps(1);
+  cfg.rtt = units::microseconds(100);
+  cfg.switch_buffer_packets = 50;
+  cfg.warmup = 0.005;
+  cfg.measure = 0.02;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Strict equality across every statistic a sweep prints or exports:
+/// "byte-identical output" follows from bitwise-identical doubles.
+void expect_identical(const core::DumbbellResult& a,
+                      const core::DumbbellResult& b) {
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.queue_mean, b.queue_mean);
+  EXPECT_EQ(a.queue_stddev, b.queue_stddev);
+  EXPECT_EQ(a.queue_min, b.queue_min);
+  EXPECT_EQ(a.queue_max, b.queue_max);
+  EXPECT_EQ(a.alpha_mean, b.alpha_mean);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.goodput_bps, b.goodput_bps);
+  EXPECT_EQ(a.marks, b.marks);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+}
+
+TEST(RunnerDeterminism, SameConfigAndSeedTwiceIsIdentical) {
+  const auto a = core::run_dumbbell(small_dumbbell(4, 42));
+  const auto b = core::run_dumbbell(small_dumbbell(4, 42));
+  expect_identical(a, b);
+  EXPECT_GT(a.events, 0u);
+}
+
+TEST(RunnerDeterminism, ParallelMatchesSerialJobForJob) {
+  // The same 6-job grid through the legacy serial path (jobs=1) and the
+  // thread pool (jobs=4) must produce identical results per index, so
+  // any table or CSV printed from them is byte-identical.
+  const auto job_result = [](std::size_t i) {
+    return core::run_dumbbell(
+        small_dumbbell(2 + i, derive_seed(/*base=*/1, i)));
+  };
+  runner::RunnerOptions serial;
+  serial.jobs = 1;
+  runner::RunnerOptions parallel;
+  parallel.jobs = 4;
+  const auto s = runner::run_jobs(6, job_result, serial);
+  const auto p = runner::run_jobs(6, job_result, parallel);
+  ASSERT_EQ(s.size(), p.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    expect_identical(s[i], p[i]);
+  }
+  // Adjacent jobs use different derived seeds, so they genuinely differ.
+  EXPECT_NE(s[0].events, s[1].events);
+}
+
+TEST(RunnerDeterminism, RepeatedParallelRunsAreIdentical) {
+  const auto job_result = [](std::size_t i) {
+    return core::run_dumbbell(small_dumbbell(3, derive_seed(9, i)));
+  };
+  runner::RunnerOptions opts;
+  opts.jobs = 4;
+  const auto a = runner::run_jobs(4, job_result, opts);
+  const auto b = runner::run_jobs(4, job_result, opts);
+  for (std::size_t i = 0; i < a.size(); ++i) expect_identical(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace dtdctcp

@@ -250,6 +250,74 @@ TEST(Sender, DctcpReducesAtMostOncePerWindow) {
   EXPECT_EQ(tx.ecn_reductions(), 2u);
 }
 
+// Rig for the dup-ACK alpha regressions: cwnd pinned at 4 so the
+// estimation-window boundaries are exact. After the first ACK closes
+// the 1-segment initial window, the next window spans segments [1, 4):
+// it is closed by the cumulative ACK of 4 after exactly three
+// newly-acked segments.
+tcp::TcpConfig dup_ack_alpha_cfg() {
+  auto cfg = base_cfg(tcp::CcMode::kDctcp);
+  cfg.dctcp_g = 1.0;  // alpha = this window's fraction, exactly
+  cfg.dctcp_init_alpha = 0.0;
+  cfg.init_cwnd = 4.0;
+  cfg.max_cwnd = 4.0;
+  return cfg;
+}
+
+TEST(Sender, DctcpDupAcksWithoutEceDoNotDiluteAlpha) {
+  Rig rig;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, dup_ack_alpha_cfg(), 100000);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  tx.deliver(rig.ack(1));  // close the initial window; next is [1, 4)
+  // Two ece-less dup ACKs (below the fast-retransmit threshold): they
+  // acknowledge nothing and carry no echo, so they must count in
+  // neither term. Before the fix each inflated the denominator by one,
+  // diluting the fraction from 1/3 to 1/5.
+  tx.deliver(rig.ack(1));
+  tx.deliver(rig.ack(1));
+  tx.deliver(rig.ack(2, /*ece=*/true));  // the only marked segment
+  tx.deliver(rig.ack(3));
+  tx.deliver(rig.ack(4));  // closes the window: 3 acked, 1 marked
+  EXPECT_DOUBLE_EQ(tx.alpha(), 1.0 / 3.0);
+}
+
+TEST(Sender, DctcpDupAckEchoCountsSymmetrically) {
+  Rig rig;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, dup_ack_alpha_cfg(), 100000);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  tx.deliver(rig.ack(1));  // close the initial window; next is [1, 4)
+  // Two marked dup ACKs: the echo counts with weight one in numerator
+  // AND denominator, so marks seen during loss episodes are kept
+  // without skewing the fraction.
+  tx.deliver(rig.ack(1, /*ece=*/true));
+  tx.deliver(rig.ack(1, /*ece=*/true));
+  tx.deliver(rig.ack(2));
+  tx.deliver(rig.ack(3));
+  tx.deliver(rig.ack(4));  // closes: 3 new + 2 echoes acked, 2 marked
+  EXPECT_DOUBLE_EQ(tx.alpha(), 2.0 / 5.0);
+}
+
+TEST(Sender, SlowStartCrossingCarriesExcessIntoCongestionAvoidance) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kReno);
+  cfg.init_cwnd = 2.0;
+  cfg.init_ssthresh = 4.0;
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 1000);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  EXPECT_DOUBLE_EQ(tx.cwnd(), 2.0);
+  // One ACK covering 3 segments: 2 grow the window to ssthresh, the
+  // leftover 1 earns the congestion-avoidance increment 1/ssthresh
+  // (RFC 5681 §3.1) instead of being clamped away.
+  tx.deliver(rig.ack(3));
+  EXPECT_DOUBLE_EQ(tx.cwnd(), 4.0 + 1.0 / 4.0);
+}
+
 TEST(Sender, EcnRenoHalvesOnEceAndSetsCwr) {
   Rig rig;
   auto cfg = base_cfg(tcp::CcMode::kEcnReno);

@@ -6,16 +6,25 @@
 //   dtdctcp_cli nyquist  --rtt-ms 1 --flows 80 --marking dt:30,50
 //   dtdctcp_cli fluid    --flows 80 --rtt-ms 1 --marking dctcp:40
 //   dtdctcp_cli fct      --load 0.6 --marking dt:15,25 --duration 0.5
+//   dtdctcp_cli sweep    --from 10 --to 100 --step 5 --marking dt:30,50 \
+//                        --jobs 8
 //
 // Marking syntax: "dctcp:<K>" or "dt:<K1>,<K2>" with thresholds in the
 // unit selected by --unit (packets by default).
+//
+// --jobs N applies to any command that runs a grid of simulations (the
+// sweep): N worker threads, 1 = serial. It overrides the DTDCTCP_JOBS
+// environment variable; the default is the hardware concurrency.
 #include <cmath>
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/dtdctcp.h"
+#include "runner/runner.h"
 #include "util/args.h"
+#include "util/rng.h"
 
 using namespace dtdctcp;
 
@@ -43,24 +52,31 @@ std::optional<core::MarkingConfig> parse_marking(const std::string& spec,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dtdctcp_cli <dumbbell|incast|nyquist|fluid|fct> "
-               "[options]\n"
+               "usage: dtdctcp_cli <dumbbell|incast|nyquist|fluid|fct|"
+               "sweep> [options]\n"
                "common options:\n"
                "  --flows N            number of flows (default 10)\n"
                "  --marking SPEC       dctcp:<K> or dt:<K1>,<K2> "
                "(default dctcp:40)\n"
                "  --unit packets|bytes threshold unit (default packets)\n"
+               "  --jobs N             worker threads for simulation "
+               "grids (1 = serial;\n"
+               "                       default DTDCTCP_JOBS or hardware "
+               "concurrency)\n"
                "dumbbell: --rate-gbps R --rtt-us T --buffer-pkts B "
                "--measure S --warmup S --seed S\n"
                "incast:   --bytes B --reps R --min-rto-ms M\n"
                "nyquist:  --rtt-ms T --g G\n"
                "fluid:    --rtt-ms T --g G --duration S\n"
                "fct:      --load L --duration S --sack --pacing "
-               "--spines N --leaves N --hosts-per-leaf N\n");
+               "--spines N --leaves N --hosts-per-leaf N\n"
+               "sweep:    --from N --to N --step N plus the dumbbell "
+               "options\n");
   return 2;
 }
 
-int run_dumbbell_cmd(const Args& args, const core::MarkingConfig& marking) {
+core::DumbbellConfig dumbbell_config(const Args& args,
+                                     const core::MarkingConfig& marking) {
   core::DumbbellConfig cfg;
   cfg.flows = static_cast<std::size_t>(args.get_int("flows", 10));
   cfg.bottleneck_bps = units::gbps(args.get_double("rate-gbps", 10.0));
@@ -72,6 +88,11 @@ int run_dumbbell_cmd(const Args& args, const core::MarkingConfig& marking) {
   cfg.warmup = args.get_double("warmup", 0.1);
   cfg.measure = args.get_double("measure", 0.3);
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  return cfg;
+}
+
+int run_dumbbell_cmd(const Args& args, const core::MarkingConfig& marking) {
+  const auto cfg = dumbbell_config(args, marking);
   const auto r = core::run_dumbbell(cfg);
   std::printf("flows        %zu\n", cfg.flows);
   std::printf("queue_mean   %.2f pkts\n", r.queue_mean);
@@ -187,6 +208,53 @@ int run_fct_cmd(const Args& args, const core::MarkingConfig& marking) {
   return 0;
 }
 
+int run_sweep_cmd(const Args& args, const core::MarkingConfig& marking) {
+  const auto from = static_cast<std::size_t>(args.get_int("from", 10));
+  const auto to = static_cast<std::size_t>(args.get_int("to", 100));
+  const auto step = static_cast<std::size_t>(args.get_int("step", 5));
+  if (step == 0 || to < from) {
+    std::fprintf(stderr, "bad sweep range\n");
+    return usage();
+  }
+  std::vector<std::size_t> flow_counts;
+  for (std::size_t n = from; n <= to; n += step) flow_counts.push_back(n);
+
+  const auto base = dumbbell_config(args, marking);
+  runner::RunnerTelemetry tm;
+  runner::RunnerOptions opts;
+  opts.progress = [](const runner::Progress& p) {
+    std::fprintf(stderr, "  [sweep] %zu/%zu jobs done (last %.2fs)\n",
+                 p.completed, p.total, p.job_seconds);
+  };
+  const auto results = runner::run_jobs(
+      flow_counts.size(),
+      [&](std::size_t i) {
+        auto cfg = base;
+        cfg.flows = flow_counts[i];
+        cfg.seed = derive_seed(base.seed, i);
+        return core::run_dumbbell(cfg);
+      },
+      opts, &tm);
+  std::fprintf(stderr,
+               "  [sweep] %zu jobs on %zu workers: %.2fs wall, %.2fs of "
+               "simulation (%.2fx speedup)\n",
+               tm.jobs, tm.workers, tm.wall_seconds, tm.job_seconds_total,
+               tm.speedup());
+
+  std::printf("%6s %10s %10s %10s %8s %10s %8s %8s\n", "flows",
+              "queue_mean", "queue_sd", "alpha", "util", "marks", "drops",
+              "timeouts");
+  for (std::size_t i = 0; i < flow_counts.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%6zu %10.2f %10.2f %10.3f %8.3f %10llu %8llu %8llu\n",
+                flow_counts[i], r.queue_mean, r.queue_stddev, r.alpha_mean,
+                r.utilization, static_cast<unsigned long long>(r.marks),
+                static_cast<unsigned long long>(r.drops),
+                static_cast<unsigned long long>(r.timeouts));
+  }
+  return 0;
+}
+
 int run_fluid_cmd(const Args& args, const core::MarkingConfig& marking) {
   fluid::FluidParams p;
   p.capacity_pps = units::packets_per_second(
@@ -234,10 +302,18 @@ int main(int argc, char** argv) {
     return usage();
   }
 
+  const auto jobs = args.get_int("jobs", 0);
+  if (args.has("jobs") && jobs < 1) {
+    std::fprintf(stderr, "--jobs must be a number >= 1\n");
+    return usage();
+  }
+  if (jobs > 0) runner::set_jobs_override(static_cast<std::size_t>(jobs));
+
   if (cmd == "dumbbell") return run_dumbbell_cmd(args, *marking);
   if (cmd == "incast") return run_incast_cmd(args, *marking);
   if (cmd == "nyquist") return run_nyquist_cmd(args, *marking);
   if (cmd == "fluid") return run_fluid_cmd(args, *marking);
   if (cmd == "fct") return run_fct_cmd(args, *marking);
+  if (cmd == "sweep") return run_sweep_cmd(args, *marking);
   return usage();
 }
