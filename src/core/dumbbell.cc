@@ -85,6 +85,7 @@ DumbbellResult run_dumbbell(const DumbbellConfig& cfg) {
   result.drops = disc.drops();
   result.timeouts = group.total_timeouts();
   result.events = net.sim().events_processed();
+  result.packets = sw.port(bneck_port).packets_sent();
 
   std::uint64_t sink_bytes_end = 0;
   for (std::size_t i = 0; i < group.size(); ++i) {

@@ -57,6 +57,7 @@ struct DumbbellResult {
   std::uint64_t drops = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t events = 0;   ///< simulator events processed
+  std::uint64_t packets = 0;  ///< packets transmitted on the bottleneck
 };
 
 /// Builds the dumbbell, runs warmup + measurement, and gathers results.

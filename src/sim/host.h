@@ -17,7 +17,7 @@ class PacketSink {
   virtual void deliver(Packet pkt) = 0;
 };
 
-class Host : public Node {
+class Host final : public Node {
  public:
   Host(NodeId id, std::string name) : Node(id, std::move(name)) {}
 

@@ -28,11 +28,11 @@ void Port::begin_transmission(Packet pkt) {
   ++packets_sent_;
   bytes_sent_ += pkt.size_bytes;
   // Arrival at the peer is an independent event so the pipe can hold
-  // multiple packets; transmitter release is a separate event.
-  sim_.after(tx + prop_delay_, [this, p = std::move(pkt)]() mutable {
-    peer_->receive(std::move(p));
-  });
-  sim_.after(tx, [this]() { on_transmit_complete(); });
+  // multiple packets; transmitter release is a separate event. Both go
+  // through the kernel's typed fast path: no type-erased closure, no
+  // allocation, just the payload placed in a recycled event slot.
+  sim_.deliver_after(tx + prop_delay_, peer_, std::move(pkt));
+  sim_.tx_complete_after(tx, this);
 }
 
 void Port::on_transmit_complete() {

@@ -49,6 +49,9 @@ class Port {
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
+  /// The kernel's typed tx-complete event re-enters here.
+  friend class EventClosure;
+
   void begin_transmission(Packet pkt);
   void on_transmit_complete();
 

@@ -1,36 +1,299 @@
 #include "sim/simulator.h"
 
-#include <cassert>
-#include <utility>
+#include <algorithm>
+#include <bit>
+
+#include "sim/node.h"
+#include "sim/port.h"
 
 namespace dtdctcp::sim {
 
-void Simulator::at(SimTime t, Handler fn) {
-  assert(t >= now_ && "cannot schedule in the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+void EventClosure::invoke() {
+  switch (kind_) {
+    case Kind::kEmpty:
+      break;
+    case Kind::kInline:
+    case Kind::kHeap:
+      ops_->invoke(buf_);
+      break;
+    case Kind::kDeliver: {
+      auto* d = std::launder(reinterpret_cast<DeliverPayload*>(buf_));
+      d->peer->receive(std::move(d->pkt));
+      break;
+    }
+  }
+}
+
+void EventClosure::tx_trampoline(void* payload) {
+  (*std::launder(reinterpret_cast<Port**>(payload)))->on_transmit_complete();
+}
+
+Simulator::~Simulator() {
+  // Slots are placement-constructed into raw chunk storage; destroy the
+  // ones that were ever handed out (free-listed slots hold an empty
+  // closure, queued ones destroy their pending payload here).
+  for (std::uint32_t id = 0; id < slot_count_; ++id) slot_ref(id).~Slot();
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != TimerHandle::kInvalid) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slot_ref(slot).pos;
+    return slot;
+  }
+  if ((slot_count_ & kChunkMask) == 0) {
+    chunks_.push_back(
+        std::make_unique_for_overwrite<std::byte[]>(kChunkSize * sizeof(Slot)));
+  }
+  const std::uint32_t slot = slot_count_++;
+  ::new (static_cast<void*>(&slot_ref(slot))) Slot();
+  return slot;
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slot_ref(slot);
+  s.fn.reset();
+  ++s.gen;  // stale handles to this slot stop matching
+  s.pos = free_head_;
+  free_head_ = slot;
+}
+
+void Simulator::push_entry(SimTime t, std::uint32_t slot_bits) {
+  const auto pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(HeapEntry{clamp_time(t), next_seq_++, slot_bits});
+  if (slot_bits & kCancelBit) slot_ref(slot_bits & ~kCancelBit).pos = pos;
+  sift_up(pos);
+}
+
+void Simulator::flush_pending() {
+  // Merging the unsorted pending buffer lazily yields the same pop
+  // sequence as immediate insertion: (time, seq) is a strict total
+  // order, so the drain order is fixed no matter how the queue stores
+  // its entries.
+  const std::size_t n = heap_.size();
+  const std::size_t p = pending_.size();
+  if (p <= 8 || p * 8 <= n) {
+    // Few new events (the steady state of a running simulation):
+    // ordinary heap pushes.
+    for (const HeapEntry& e : pending_) {
+      const auto pos = static_cast<std::uint32_t>(heap_.size());
+      heap_.push_back(e);
+      sift_up(pos);
+    }
+    pending_.clear();
+    return;
+  }
+  if (n * 8 > p) {
+    // Large batch into a large heap: append and rebuild bottom-up
+    // (Floyd), which is O(n) and streams memory instead of paying a
+    // random-access sift per element.
+    heap_.insert(heap_.end(), pending_.begin(), pending_.end());
+    pending_.clear();
+    heapify();
+    return;
+  }
+  // Large batch while the heap is (near-)empty — the "schedule the
+  // whole experiment, then run" shape. Sort once and drain by cursor;
+  // the few heap entries (timers) ride along as an overlay.
+  sort_pending();
+  if (sorted_drained()) {
+    sorted_.clear();
+    sorted_.swap(pending_);
+    cursor_ = 0;
+  } else {
+    // A sorted run is still draining: merge the two ascending runs.
+    std::vector<HeapEntry> merged;
+    merged.reserve(sorted_.size() - cursor_ + p);
+    std::merge(sorted_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+               sorted_.end(), pending_.begin(), pending_.end(),
+               std::back_inserter(merged), earlier);
+    sorted_.swap(merged);
+    cursor_ = 0;
+    pending_.clear();
+  }
+}
+
+// Stable LSD radix sort of pending_ on the raw time bits. Two facts
+// make this both exact and fast: (1) the buffer is appended in
+// insertion-sequence order, so a *stable* sort by time alone produces
+// exact (time, seq) order — no tie-break compares, and no wraparound
+// caveat on this path; (2) simulation times are non-negative doubles
+// (clamp_time pins negatives and normalises -0.0), whose IEEE-754 bit
+// patterns order identically to their values, so byte-wise counting
+// passes sort them like integers. Bytes that never differ across the
+// batch are skipped — setup bursts span narrow time ranges, so
+// typically only two or three of the eight passes run.
+void Simulator::sort_pending() {
+  const std::size_t n = pending_.size();
+  std::uint64_t all_or = 0;
+  std::uint64_t all_and = ~std::uint64_t{0};
+  for (const HeapEntry& e : pending_) {
+    const auto bits = std::bit_cast<std::uint64_t>(e.time);
+    all_or |= bits;
+    all_and &= bits;
+  }
+  const std::uint64_t diff = all_or ^ all_and;
+  if (diff == 0) return;  // all times equal: already in (time, seq) order
+  scratch_.resize(n);
+  std::vector<HeapEntry>* src = &pending_;
+  std::vector<HeapEntry>* dst = &scratch_;
+  for (unsigned shift = 0; shift < 64; shift += 8) {
+    if (((diff >> shift) & 0xff) == 0) continue;
+    std::size_t count[256] = {};
+    for (const HeapEntry& e : *src) {
+      ++count[(std::bit_cast<std::uint64_t>(e.time) >> shift) & 0xff];
+    }
+    std::size_t pos[256];
+    std::size_t total = 0;
+    for (std::size_t b = 0; b < 256; ++b) {
+      pos[b] = total;
+      total += count[b];
+    }
+    for (const HeapEntry& e : *src) {
+      (*dst)[pos[(std::bit_cast<std::uint64_t>(e.time) >> shift) & 0xff]++] =
+          e;
+    }
+    std::swap(src, dst);
+  }
+  if (src != &pending_) pending_.swap(scratch_);
+}
+
+void Simulator::heapify() {
+  const auto n = static_cast<std::uint32_t>(heap_.size());
+  if (n < 2) return;
+  for (std::uint32_t i = (n - 2) >> 2; ; --i) {
+    sift_down(i);
+    if (i == 0) break;
+  }
+}
+
+void Simulator::sift_up(std::uint32_t pos) {
+  const HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) >> 2;
+    if (!earlier(e, heap_[parent])) break;
+    place(heap_[parent], pos);
+    pos = parent;
+  }
+  place(e, pos);
+}
+
+void Simulator::sift_down(std::uint32_t pos) {
+  const HeapEntry e = heap_[pos];
+  const auto n = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint32_t first = (pos << 2) + 1;
+    if (first >= n) break;
+    std::uint32_t best = first;
+    const std::uint32_t last = first + 4 < n ? first + 4 : n;
+    for (std::uint32_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    place(heap_[best], pos);
+    pos = best;
+  }
+  place(e, pos);
+}
+
+void Simulator::remove_at(std::uint32_t pos) {
+  const HeapEntry back = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail entry
+  place(back, pos);
+  if (pos > 0 && earlier(back, heap_[(pos - 1) >> 2])) {
+    sift_up(pos);
+  } else {
+    sift_down(pos);
+  }
+}
+
+bool Simulator::cancel(TimerHandle& h) {
+  const std::uint32_t slot = h.slot;
+  const std::uint32_t gen = h.gen;
+  h = TimerHandle{};
+  if (slot == TimerHandle::kInvalid || slot >= slot_count_) return false;
+  if (slot_ref(slot).gen != gen) return false;  // fired or already cancelled
+  const std::uint32_t pos = slot_ref(slot).pos;
+  release_slot(slot);
+  remove_at(pos);
+  ++cancelled_;
+  return true;
+}
+
+// Runs one event. The entry is taken by value: in-entry payloads run
+// straight out of the copy; arena payloads run *in place* — slot
+// addresses are stable (chunked arena), so nothing is moved on the hot
+// path. For arena events the generation is bumped before the handler
+// runs (a handler cancelling its own, already-firing timer must be a
+// no-op), but the slot only joins the free list afterwards, so events
+// the handler schedules cannot reuse the storage of the payload that is
+// still executing.
+void Simulator::fire(HeapEntry e) {
+  now_ = e.time;
+  ++processed_;
+  if (e.slot == kInlineSlot) {
+    e.fn(e.payload);
+    return;
+  }
+  const std::uint32_t slot = e.slot & ~kCancelBit;
+  Slot& s = slot_ref(slot);
+  ++s.gen;
+  s.fn.invoke();
+  s.fn.reset();
+  s.pos = free_head_;
+  free_head_ = slot;
+}
+
+void Simulator::step() {
+  if (cursor_ < sorted_.size() &&
+      (heap_.empty() || earlier(sorted_[cursor_], heap_.front()))) {
+    const HeapEntry e = sorted_[cursor_++];
+    if (cursor_ < sorted_.size()) {
+      // The drain order is known ahead of time; pull the next arena
+      // payload toward the cache while this event runs.
+      const std::uint32_t nx = sorted_[cursor_].slot;
+      if (nx != kInlineSlot) __builtin_prefetch(&slot_ref(nx & ~kCancelBit));
+    } else {
+      sorted_.clear();
+      cursor_ = 0;
+    }
+    fire(e);
+    return;
+  }
+  const HeapEntry top = heap_.front();
+  const HeapEntry back = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    place(back, 0);
+    sift_down(0);
+  }
+  fire(top);
 }
 
 void Simulator::run() {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
-    // priority_queue::top() returns const&; the handler must be moved out
-    // before pop, so copy the metadata and move the closure.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ++processed_;
-    ev.fn();
+  for (;;) {
+    if (!pending_.empty()) flush_pending();
+    if (stopped_ || (heap_.empty() && cursor_ == sorted_.size())) break;
+    step();
   }
 }
 
 void Simulator::run_until(SimTime t) {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ++processed_;
-    ev.fn();
+  for (;;) {
+    if (!pending_.empty()) flush_pending();
+    if (stopped_) break;
+    const bool have_sorted = cursor_ < sorted_.size();
+    if (heap_.empty()) {
+      if (!have_sorted || sorted_[cursor_].time > t) break;
+    } else if (have_sorted) {
+      if (std::min(heap_.front().time, sorted_[cursor_].time) > t) break;
+    } else if (heap_.front().time > t) {
+      break;
+    }
+    step();
   }
   if (!stopped_ && now_ < t) now_ = t;
 }

@@ -1,31 +1,317 @@
 // Discrete-event simulation kernel.
 //
-// A binary-heap event queue with (time, insertion-sequence) ordering:
-// events at equal times run in the order they were scheduled, which keeps
-// packet pipelines deterministic.
+// Events are ordered by (time, insertion-sequence): events at equal
+// times run in the order they were scheduled, which keeps packet
+// pipelines deterministic. Because that order is a *total* order, the
+// kernel is free to organise its queue however it likes — every valid
+// arrangement pops in exactly the same sequence. It exploits that
+// freedom twice: plain (non-cancellable) events are appended to an
+// unsorted pending buffer in O(1) and bulk-merged into a 4-ary heap of
+// small 16-byte entries only when the run loop next needs the minimum;
+// payloads live out-of-line in a chunked, recycled slot arena with
+// stable addresses, so the steady-state hot path performs no heap
+// allocation and payloads never move once placed. Timers scheduled
+// through `timer_at` / `timer_after` return a generation-counted
+// `TimerHandle` and can be cancelled in O(log n) — a cancelled timer is
+// removed from the queue immediately instead of lingering until its
+// fire time.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/packet.h"
 #include "util/units.h"
 
 namespace dtdctcp::sim {
 
+class Node;
+class Port;
+class Simulator;
+
+/// Identifies a pending cancellable timer. A handle is only a claim
+/// ticket: after the timer fires (or is cancelled) the handle goes stale
+/// and `Simulator::cancel` on it is a harmless no-op, so holders never
+/// need to track liveness themselves.
+struct TimerHandle {
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t slot = kInvalid;
+  std::uint32_t gen = 0;
+};
+
+/// Move-only type-erased `void()` closure with fixed inline storage.
+///
+/// The inline capture budget is pinned to the port hot path: delivering a
+/// packet to a peer node (a `Node*` plus a `Packet` by value) must fit,
+/// so per-hop events never allocate. Larger captures fall back to the
+/// heap — acceptable for setup/teardown closures, never for per-packet
+/// ones (hot call sites static_assert `kFitsInline`).
+///
+/// The two per-packet events (peer delivery, transmitter release) are
+/// additionally stored as *typed* payloads — a tag plus raw fields — so
+/// the kernel dispatches them with a switch instead of an indirect call
+/// through an erased function pointer.
+class EventClosure {
+ public:
+  static constexpr std::size_t kInlineBytes = sizeof(void*) + sizeof(Packet);
+
+  template <typename F>
+  static constexpr bool kFitsInline =
+      sizeof(F) <= kInlineBytes &&
+      alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  EventClosure() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventClosure> &&
+                                        std::is_invocable_v<D&>>>
+  EventClosure(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  EventClosure(EventClosure&& other) noexcept { move_from(other); }
+  EventClosure& operator=(EventClosure&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventClosure(const EventClosure&) = delete;
+  EventClosure& operator=(const EventClosure&) = delete;
+  ~EventClosure() { reset(); }
+
+  /// Constructs a callable in place (the closure must be empty).
+  template <typename F>
+  void emplace(F&& fn) {
+    using D = std::decay_t<F>;
+    assert(kind_ == Kind::kEmpty);
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &InlineOps<D>::kOps;
+      kind_ = Kind::kInline;
+    } else {
+      D* p = new D(std::forward<F>(fn));
+      std::memcpy(buf_, &p, sizeof p);
+      ops_ = &HeapOps<D>::kOps;
+      kind_ = Kind::kHeap;
+    }
+  }
+
+  /// Typed fast-path payload (no type erasure; see Simulator).
+  void set_deliver(Node* peer, Packet&& pkt) {
+    assert(kind_ == Kind::kEmpty);
+    ::new (static_cast<void*>(buf_)) DeliverPayload{peer, std::move(pkt)};
+    kind_ = Kind::kDeliver;
+  }
+
+  /// In-entry trampoline for the transmitter-release event (lives here
+  /// so Port can grant access with a single friend declaration).
+  static void tx_trampoline(void* payload);
+
+  void reset() {
+    if (kind_ == Kind::kInline || kind_ == Kind::kHeap) {
+      // Trivially-destructible inline captures register a null destroy
+      // hook; skipping the indirect call keeps slot recycling cheap.
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+    kind_ = Kind::kEmpty;
+  }
+
+  explicit operator bool() const { return kind_ != Kind::kEmpty; }
+
+  /// Runs the payload (it stays constructed; callers reset() after).
+  /// Defined in simulator.cc — the typed cases need Node/Port.
+  void invoke();
+
+ private:
+  enum class Kind : std::uint8_t {
+    kEmpty,
+    kInline,   ///< callable constructed in buf_
+    kHeap,     ///< buf_ holds a pointer to a heap-allocated callable
+    kDeliver,  ///< typed: peer->receive(pkt)
+  };
+
+  struct Ops {
+    void (*invoke)(void* buf);
+    void (*relocate)(void* src, void* dst) noexcept;  // move-construct + destroy src
+    void (*destroy)(void* buf) noexcept;              // null when trivial
+  };
+
+  struct DeliverPayload {
+    Node* peer;
+    Packet pkt;
+  };
+
+  template <typename D>
+  struct InlineOps {
+    static void invoke(void* buf) { (*static_cast<D*>(buf))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      ::new (dst) D(std::move(*static_cast<D*>(src)));
+      static_cast<D*>(src)->~D();
+    }
+    static void destroy(void* buf) noexcept { static_cast<D*>(buf)->~D(); }
+    static constexpr Ops kOps = {
+        &invoke, &relocate,
+        std::is_trivially_destructible_v<D> ? nullptr : &destroy};
+  };
+
+  template <typename D>
+  struct HeapOps {
+    static D* get(void* buf) {
+      D* p;
+      std::memcpy(&p, buf, sizeof p);
+      return p;
+    }
+    static void invoke(void* buf) { (*get(buf))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      std::memcpy(dst, src, sizeof(D*));
+    }
+    static void destroy(void* buf) noexcept { delete get(buf); }
+    static constexpr Ops kOps = {&invoke, &relocate, &destroy};
+  };
+
+  void move_from(EventClosure& other) noexcept {
+    kind_ = other.kind_;
+    ops_ = other.ops_;
+    switch (other.kind_) {
+      case Kind::kEmpty:
+        break;
+      case Kind::kInline:
+        ops_->relocate(other.buf_, buf_);
+        break;
+      case Kind::kHeap:
+        std::memcpy(buf_, other.buf_, sizeof(void*));
+        break;
+      case Kind::kDeliver:
+        std::memcpy(buf_, other.buf_, sizeof(DeliverPayload));
+        break;
+    }
+    other.kind_ = Kind::kEmpty;
+    other.ops_ = nullptr;
+  }
+
+  // Dispatch header first: for small captures the header and the capture
+  // share a cache line, so firing + recycling touches one line per slot.
+  const Ops* ops_ = nullptr;
+  Kind kind_ = Kind::kEmpty;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+
+  static_assert(std::is_trivially_copyable_v<Packet>,
+                "typed payloads are relocated with memcpy");
+};
+
+static_assert(sizeof(Packet) + sizeof(void*) <= EventClosure::kInlineBytes,
+              "the port packet-delivery payload must fit inline");
+
 class Simulator {
  public:
-  using Handler = std::function<void()>;
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  Simulator(Simulator&& other) noexcept
+      : now_(other.now_),
+        next_seq_(other.next_seq_),
+        processed_(other.processed_),
+        cancelled_(other.cancelled_),
+        past_clamps_(other.past_clamps_),
+        stopped_(other.stopped_),
+        heap_(std::move(other.heap_)),
+        pending_(std::move(other.pending_)),
+        sorted_(std::move(other.sorted_)),
+        cursor_(other.cursor_),
+        scratch_(std::move(other.scratch_)),
+        chunks_(std::move(other.chunks_)),
+        slot_count_(other.slot_count_),
+        free_head_(other.free_head_) {
+    // The source must not destroy the slots it no longer owns.
+    other.slot_count_ = 0;
+    other.free_head_ = TimerHandle::kInvalid;
+    other.cursor_ = 0;
+  }
+  Simulator& operator=(Simulator&& other) noexcept {
+    if (this != &other) {
+      this->~Simulator();
+      ::new (static_cast<void*>(this)) Simulator(std::move(other));
+    }
+    return *this;
+  }
+  ~Simulator();
 
   /// Current simulation time in seconds.
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (must be >= now()).
-  void at(SimTime t, Handler fn);
+  /// Schedules `fn` at absolute time `t`. Scheduling in the past is a
+  /// bug; the kernel clamps `t` to now() — keeping the clock monotonic
+  /// in every build mode — and counts the violation (see
+  /// `past_schedule_clamps`).
+  template <typename F>
+  void at(SimTime t, F&& fn) {
+    using D = std::decay_t<F>;
+    if constexpr (kFitsEntry<D>) {
+      pending_.push_back(
+          make_inline_entry<D>(clamp_time(t), std::forward<F>(fn)));
+    } else {
+      const std::uint32_t slot = acquire_slot();
+      slot_ref(slot).fn.emplace(std::forward<F>(fn));
+      defer_entry(t, slot);
+    }
+  }
 
   /// Schedules `fn` after a delay of `dt` seconds (dt >= 0).
-  void after(SimTime dt, Handler fn) { at(now_ + dt, std::move(fn)); }
+  template <typename F>
+  void after(SimTime dt, F&& fn) {
+    at(now_ + dt, std::forward<F>(fn));
+  }
+
+  /// Like `at`/`after`, but returns a handle the caller can `cancel`.
+  template <typename F>
+  TimerHandle timer_at(SimTime t, F&& fn) {
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slot_ref(slot);
+    s.fn.emplace(std::forward<F>(fn));
+    push_entry(t, slot | kCancelBit);
+    return TimerHandle{slot, s.gen};
+  }
+  template <typename F>
+  TimerHandle timer_after(SimTime dt, F&& fn) {
+    return timer_at(now_ + dt, std::forward<F>(fn));
+  }
+
+  /// Cancels a pending timer: the event is removed from the queue and
+  /// will not fire. Returns false (harmlessly) if the timer already
+  /// fired, was already cancelled, or the handle is stale/default; the
+  /// handle is reset either way.
+  bool cancel(TimerHandle& h);
+
+  /// Typed fast path: delivers `pkt` to `peer` after `dt` (Port's
+  /// propagation event — dispatched without type erasure).
+  void deliver_after(SimTime dt, Node* peer, Packet pkt) {
+    const std::uint32_t slot = acquire_slot();
+    slot_ref(slot).fn.set_deliver(peer, std::move(pkt));
+    defer_entry(now_ + dt, slot);
+  }
+
+  /// Typed fast path: releases `port`'s transmitter after `dt`. The
+  /// payload is one pointer, so it rides in the queue entry itself.
+  void tx_complete_after(SimTime dt, Port* port) {
+    HeapEntry e;
+    e.time = clamp_time(now_ + dt);
+    e.seq = next_seq_++;
+    e.slot = kInlineSlot;
+    e.fn = &EventClosure::tx_trampoline;
+    ::new (static_cast<void*>(e.payload)) Port*(port);
+    pending_.push_back(e);
+  }
 
   /// Runs until the event queue drains or stop() is called.
   void run();
@@ -37,26 +323,157 @@ class Simulator {
   void stop() { stopped_ = true; }
 
   std::uint64_t events_processed() const { return processed_; }
-  bool empty() const { return queue_.empty(); }
+  bool empty() const {
+    return heap_.empty() && pending_.empty() && cursor_ == sorted_.size();
+  }
+
+  /// Pending (live) events in the queue. Cancelled timers are removed
+  /// eagerly, so a flow that re-arms its RTO holds exactly one slot.
+  std::size_t queue_size() const {
+    return heap_.size() + pending_.size() + (sorted_.size() - cursor_);
+  }
+
+  std::uint64_t timers_cancelled() const { return cancelled_; }
+
+  /// Times a caller tried to schedule before now() and was clamped.
+  std::uint64_t past_schedule_clamps() const { return past_clamps_; }
 
  private:
-  struct Event {
+  // Queue entries are 32 bytes. `seq` is the low 32 bits of the
+  // insertion sequence; ties compare with wraparound subtraction, which
+  // reproduces exact FIFO order as long as equal-time events coexisting
+  // in the queue were scheduled within 2^31 schedules of each other
+  // (real queues are orders of magnitude smaller).
+  //
+  // `slot` selects the payload's home: an arena slot id (bit 31 marks a
+  // cancellable entry whose arena slot mirrors its heap position —
+  // plain events never touch the arena while sifting), or the
+  // kInlineSlot sentinel meaning the payload lives *in the entry*:
+  // `fn` is a plain function pointer and `payload` holds a small
+  // trivially-copyable capture. In-entry events bypass the arena
+  // entirely on both the schedule and the fire path.
+  struct HeapEntry {
     SimTime time;
-    std::uint64_t seq;
-    Handler fn;
+    std::uint32_t seq;
+    std::uint32_t slot;
+    void (*fn)(void*);
+    alignas(8) unsigned char payload[8];
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  static_assert(sizeof(HeapEntry) == 32);
+
+  /// Captures storable directly in a queue entry. Trivial copyability
+  /// is required because entries relocate by memcpy during sorting and
+  /// sifting.
+  template <typename D>
+  static constexpr bool kFitsEntry =
+      sizeof(D) <= sizeof(HeapEntry::payload) && alignof(D) <= 8 &&
+      std::is_trivially_copyable_v<D>;
+  struct Slot {
+    EventClosure fn;
+    std::uint32_t gen = 0;
+    std::uint32_t pos = 0;  ///< heap index (cancellable) or free-list link
   };
 
+  static constexpr std::uint32_t kCancelBit = 0x80000000u;
+  /// `slot` sentinel for in-entry payloads (no arena slot, no cancel
+  /// bit, and above any reachable arena id).
+  static constexpr std::uint32_t kInlineSlot = 0x7fffffffu;
+  // 256 slots (~40 KiB) per chunk: small enough that glibc serves chunks
+  // from its recycled arena instead of fresh mmap'd pages, so repeated
+  // simulator construction reuses warm memory.
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return static_cast<std::int32_t>(a.seq - b.seq) < 0;
+  }
+
+  Slot& slot_ref(std::uint32_t id) {
+    return reinterpret_cast<Slot*>(
+        chunks_[id >> kChunkShift].get())[id & kChunkMask];
+  }
+
+  SimTime clamp_time(SimTime t) {
+    if (t < now_) {
+      // Scheduling in the past is a bug in the caller; rather than let
+      // the clock run backwards (or abort a release-mode run), pin the
+      // event to now and count the violation.
+      t = now_;
+      ++past_clamps_;
+    }
+    // Normalise -0.0 to +0.0 so the bit pattern of a stored time orders
+    // like its value (see sort_pending); exact for every other input.
+    return t + 0.0;
+  }
+
+  /// O(1) append for non-cancellable arena events; flush_pending()
+  /// merges the buffer into the queue before the run loop next needs
+  /// the minimum.
+  void defer_entry(SimTime t, std::uint32_t slot) {
+    HeapEntry e;
+    e.time = clamp_time(t);
+    e.seq = next_seq_++;
+    e.slot = slot;
+    pending_.push_back(e);
+  }
+
+  /// Builds an in-entry event: the capture is constructed directly in
+  /// the entry's payload bytes and dispatched through a plain function
+  /// pointer, bypassing the arena on both schedule and fire.
+  template <typename D, typename F>
+  HeapEntry make_inline_entry(SimTime t, F&& fn) {
+    HeapEntry e;
+    e.time = t;
+    e.seq = next_seq_++;
+    e.slot = kInlineSlot;
+    e.fn = [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); };
+    ::new (static_cast<void*>(e.payload)) D(std::forward<F>(fn));
+    return e;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void push_entry(SimTime t, std::uint32_t slot_bits);
+  void flush_pending();
+  void sort_pending();
+  void heapify();
+  void remove_at(std::uint32_t pos);
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+  void place(const HeapEntry& e, std::uint32_t pos) {
+    heap_[pos] = e;
+    if (e.slot & kCancelBit) slot_ref(e.slot & ~kCancelBit).pos = pos;
+  }
+  bool sorted_drained() const { return cursor_ == sorted_.size(); }
+  void fire(HeapEntry e);
+  void step();
+
   SimTime now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
+  std::uint32_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t past_clamps_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<HeapEntry> heap_;
+  std::vector<HeapEntry> pending_;
+  // Sorted-run fast path: a large pending batch arriving while the heap
+  // is (near-)empty — the "schedule everything, then run" shape of
+  // experiment setup — is sorted ascending once and drained by cursor.
+  // Sequential drain makes the *next* event known ahead of time, so its
+  // payload slot can be prefetched; a heap only learns its next minimum
+  // after the sift completes.
+  std::vector<HeapEntry> sorted_;
+  std::size_t cursor_ = 0;
+  std::vector<HeapEntry> scratch_;  ///< radix-sort double buffer, reused
+  // Payload arena: fixed-size chunks of raw storage. Slots have stable
+  // addresses (events run in place), growth never relocates pending
+  // payloads, and a fresh chunk costs one allocation — slots are
+  // constructed lazily on first use.
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = TimerHandle::kInvalid;
 };
 
 }  // namespace dtdctcp::sim

@@ -11,7 +11,7 @@
 
 namespace dtdctcp::sim {
 
-class Switch : public Node {
+class Switch final : public Node {
  public:
   Switch(NodeId id, std::string name) : Node(id, std::move(name)) {}
 

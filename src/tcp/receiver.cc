@@ -14,7 +14,12 @@ TcpReceiver::TcpReceiver(sim::Simulator& sim, sim::Host& local,
   local_.bind_flow(flow_, this);
 }
 
-TcpReceiver::~TcpReceiver() { local_.unbind_flow(flow_); }
+TcpReceiver::~TcpReceiver() {
+  // Remove any armed delayed-ACK timer so it cannot fire into a
+  // destroyed receiver.
+  sim_.cancel(delack_timer_);
+  local_.unbind_flow(flow_);
+}
 
 void TcpReceiver::deliver(sim::Packet pkt) {
   assert(!pkt.is_ack && "receiver got an ACK; flow ids crossed");
@@ -140,16 +145,17 @@ void TcpReceiver::flush_delayed(const sim::Packet& trigger,
                                 std::int64_t ack_seq) {
   if (pending_ == 0) return;
   pending_ = 0;
-  ++delack_gen_;  // cancel any armed timer
+  sim_.cancel(delack_timer_);
   send_ack(trigger, ce_state_, ack_seq);
 }
 
 void TcpReceiver::arm_delack_timer() {
-  const std::uint64_t gen = ++delack_gen_;
-  sim_.after(cfg_.delack_timeout, [this, gen, w = std::weak_ptr<char>(alive_)] {
-    if (w.expired()) return;
-    if (gen == delack_gen_ && pending_ > 0) flush_delayed(last_data_);
-  });
+  auto fire = [this] {
+    if (pending_ > 0) flush_delayed(last_data_);
+  };
+  static_assert(sim::EventClosure::kFitsInline<decltype(fire)>,
+                "delayed-ACK timer must not allocate");
+  delack_timer_ = sim_.timer_after(cfg_.delack_timeout, fire);
 }
 
 }  // namespace dtdctcp::tcp

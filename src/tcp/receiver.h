@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <set>
 
 #include "sim/host.h"
@@ -68,20 +67,16 @@ class TcpReceiver final : public sim::PacketSink {
   bool ece_latched_ = false;
 
   // Delayed-ACK / DCTCP echo state machine.
-  bool ce_state_ = false;         ///< CE value of the pending run
-  std::uint32_t pending_ = 0;     ///< coalesced segment count
-  sim::Packet last_data_{};       ///< trigger metadata for the pending ACK
-  std::uint64_t delack_gen_ = 0;  ///< timer cancellation generation
+  bool ce_state_ = false;          ///< CE value of the pending run
+  std::uint32_t pending_ = 0;      ///< coalesced segment count
+  sim::Packet last_data_{};        ///< trigger metadata for the pending ACK
+  sim::TimerHandle delack_timer_;  ///< cancelled on every flush
 
   std::uint64_t segments_received_ = 0;
   std::uint64_t ce_received_ = 0;
   std::uint64_t bytes_received_ = 0;
 
   std::function<void(SimTime)> on_complete_;
-
-  /// Liveness token: the delayed-ACK timer holds a weak_ptr so it is a
-  /// no-op if it fires after this receiver was destroyed.
-  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 
 }  // namespace dtdctcp::tcp

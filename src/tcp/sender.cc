@@ -20,6 +20,8 @@ TcpSender::TcpSender(sim::Simulator& sim, sim::Host& local,
 }
 
 TcpSender::~TcpSender() {
+  sim_.cancel(start_timer_);
+  sim_.cancel(pace_timer_);
   cancel_rto();
   local_.unbind_flow(flow_);
 }
@@ -27,12 +29,14 @@ TcpSender::~TcpSender() {
 void TcpSender::start_at(SimTime t) {
   assert(!started_);
   started_ = true;
-  sim_.at(t, [this, w = std::weak_ptr<char>(alive_)] {
-    if (w.expired()) return;
+  auto fire = [this] {
     start_time_ = sim_.now();
     dctcp_window_end_ = 0;
     try_send();
-  });
+  };
+  static_assert(sim::EventClosure::kFitsInline<decltype(fire)>,
+                "start timer must not allocate");
+  start_timer_ = sim_.timer_at(t, fire);
 }
 
 void TcpSender::extend(std::int64_t extra) {
@@ -368,11 +372,11 @@ void TcpSender::try_send() {
 }
 
 void TcpSender::arm_pace_timer() {
-  const std::uint64_t gen = ++pace_gen_;
-  sim_.at(pace_next_, [this, gen, w = std::weak_ptr<char>(alive_)] {
-    if (w.expired()) return;
-    if (gen == pace_gen_) try_send();
-  });
+  sim_.cancel(pace_timer_);
+  auto fire = [this] { try_send(); };
+  static_assert(sim::EventClosure::kFitsInline<decltype(fire)>,
+                "pace timer must not allocate");
+  pace_timer_ = sim_.timer_at(pace_next_, fire);
 }
 
 void TcpSender::send_segment(std::int64_t seq, bool retransmit) {
@@ -398,13 +402,15 @@ void TcpSender::send_segment(std::int64_t seq, bool retransmit) {
 }
 
 void TcpSender::arm_rto() {
-  const std::uint64_t gen = ++rto_gen_;
+  // Rearming cancels the predecessor: the queue holds one RTO entry per
+  // flow no matter how many times ACKs restart the timer.
+  sim_.cancel(rto_timer_);
   const SimTime timeout =
       std::min(cfg_.max_rto, rto_ * static_cast<double>(1u << std::min(backoff_, 16u)));
-  sim_.after(timeout, [this, gen, w = std::weak_ptr<char>(alive_)] {
-    if (w.expired()) return;
-    if (gen == rto_gen_) on_rto_fired();
-  });
+  auto fire = [this] { on_rto_fired(); };
+  static_assert(sim::EventClosure::kFitsInline<decltype(fire)>,
+                "RTO timer must not allocate");
+  rto_timer_ = sim_.timer_after(timeout, fire);
 }
 
 void TcpSender::on_rto_fired() {

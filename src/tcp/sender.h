@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <set>
 
 #include "sim/host.h"
@@ -97,7 +96,7 @@ class TcpSender final : public sim::PacketSink {
   bool next_hole(std::int64_t* seq) const;
   void arm_pace_timer();
   void arm_rto();
-  void cancel_rto() { ++rto_gen_; }
+  void cancel_rto() { sim_.cancel(rto_timer_); }
   void on_rto_fired();
   void set_cwnd(double w);
   std::int64_t inflight() const { return snd_nxt_ - snd_una_; }
@@ -133,7 +132,6 @@ class TcpSender final : public sim::PacketSink {
   SimTime srtt_ = 0.0;
   SimTime rttvar_ = 0.0;
   SimTime rto_;
-  std::uint64_t rto_gen_ = 0;
   std::uint32_t backoff_ = 0;
 
   // DCTCP estimator.
@@ -151,10 +149,8 @@ class TcpSender final : public sim::PacketSink {
   SimTime cubic_epoch_ = -1.0;
   double cubic_k_ = 0.0;
 
-  // Pacing (cfg.pacing): earliest time the next new segment may leave,
-  // and the cancellation generation for the pace timer.
+  // Pacing (cfg.pacing): earliest time the next new segment may leave.
   SimTime pace_next_ = 0.0;
-  std::uint64_t pace_gen_ = 0;
 
   bool started_ = false;
   bool completed_ = false;
@@ -171,10 +167,14 @@ class TcpSender final : public sim::PacketSink {
   stats::TimeSeries cwnd_trace_;
   std::function<void(SimTime)> on_complete_;
 
-  /// Liveness token: timer closures hold a weak_ptr so a timer that
-  /// fires after this sender was destroyed (e.g. between Incast query
-  /// rounds) is a no-op instead of a use-after-free.
-  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+  // Cancellable kernel timers. Rearming cancels the predecessor, so the
+  // event queue holds at most one entry per timer; the destructor
+  // cancels all three, so a sender destroyed mid-run (e.g. between
+  // Incast query rounds) leaves no closure behind that could fire into
+  // freed memory.
+  sim::TimerHandle start_timer_;
+  sim::TimerHandle rto_timer_;
+  sim::TimerHandle pace_timer_;
 };
 
 }  // namespace dtdctcp::tcp

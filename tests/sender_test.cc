@@ -165,6 +165,30 @@ TEST(Sender, RtoBacksOffExponentially) {
   EXPECT_EQ(tx.timeouts(), 3u);
 }
 
+TEST(Sender, RtoRearmHoldsOneQueueSlotPerFlow) {
+  Rig rig;
+  auto cfg = base_cfg(tcp::CcMode::kReno);
+  cfg.max_cwnd = 4.0;  // bound in-flight data so only timers can pile up
+  tcp::TcpSender tx(rig.net.sim(), *rig.send_host, rig.recv_host->id(),
+                    Rig::kFlow, cfg, 1 << 20);
+  tx.start_at(0.0);
+  rig.net.sim().run_until(0.001);
+  const auto cancelled_before = rig.net.sim().timers_cancelled();
+
+  // Every new ACK rearms the RTO, cancelling its predecessor. Cancelled
+  // timers must leave the queue immediately: after K rearms the kernel
+  // queue holds O(1) entries for this flow, not O(K) dead timers
+  // waiting out their expiry.
+  std::int64_t acked = 1;
+  for (int k = 0; k < 500; ++k) {
+    tx.deliver(rig.ack(acked++));
+    // Drain the data burst the ACK released (stay far below the RTO).
+    rig.net.sim().run_until(rig.net.sim().now() + 1e-4);
+    ASSERT_LE(rig.net.sim().queue_size(), 4u);
+  }
+  EXPECT_GE(rig.net.sim().timers_cancelled() - cancelled_before, 500u);
+}
+
 TEST(Sender, RttSampleIgnoredForRetransmittedSegment) {
   Rig rig;
   auto cfg = base_cfg(tcp::CcMode::kReno);

@@ -2,7 +2,9 @@
 // routing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "queue/drop_tail.h"
@@ -74,6 +76,246 @@ TEST(Simulator, StopHaltsTheLoop) {
   EXPECT_EQ(fired, 1);
   s.run();  // resumes with the remaining event
   EXPECT_EQ(fired, 2);
+}
+
+// --- cancellable timers ----------------------------------------------
+
+TEST(Simulator, CancelPreventsTimerFromFiring) {
+  sim::Simulator s;
+  int fired = 0;
+  auto h = s.timer_at(1.0, [&] { ++fired; });
+  EXPECT_TRUE(s.cancel(h));
+  s.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.timers_cancelled(), 1u);
+}
+
+TEST(Simulator, CancelledTimerLeavesQueueImmediately) {
+  sim::Simulator s;
+  auto h = s.timer_at(1.0, [] {});
+  EXPECT_EQ(s.queue_size(), 1u);
+  s.cancel(h);
+  EXPECT_EQ(s.queue_size(), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Simulator, FiredTimerHandleGoesStale) {
+  sim::Simulator s;
+  int fired = 0;
+  auto h = s.timer_at(1.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.cancel(h));  // already fired: harmless no-op
+  EXPECT_EQ(s.timers_cancelled(), 0u);
+}
+
+TEST(Simulator, DoubleCancelIsHarmless) {
+  sim::Simulator s;
+  auto h = s.timer_at(1.0, [] {});
+  auto dup = h;  // a second copy of the same claim ticket
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_FALSE(s.cancel(dup));
+  EXPECT_FALSE(s.cancel(h));  // the first cancel reset the handle
+  EXPECT_EQ(s.timers_cancelled(), 1u);
+}
+
+TEST(Simulator, DefaultHandleCancelIsNoop) {
+  sim::Simulator s;
+  sim::TimerHandle h;
+  EXPECT_FALSE(s.cancel(h));
+  EXPECT_EQ(s.timers_cancelled(), 0u);
+}
+
+TEST(Simulator, StaleHandleDoesNotCancelRecycledSlot) {
+  // A fired timer's slot is recycled for the next one. The old handle's
+  // generation no longer matches, so cancelling it must not kill the
+  // timer now occupying the slot.
+  sim::Simulator s;
+  int first = 0;
+  int second = 0;
+  auto h1 = s.timer_at(1.0, [&] { ++first; });
+  s.run();
+  auto h2 = s.timer_at(2.0, [&] { ++second; });
+  EXPECT_FALSE(s.cancel(h1));
+  s.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+  EXPECT_FALSE(s.cancel(h2));  // h2 fired too
+}
+
+TEST(Simulator, CancellingOwnTimerFromItsHandlerIsNoop) {
+  sim::Simulator s;
+  int fired = 0;
+  sim::TimerHandle h;
+  h = s.timer_at(1.0, [&] {
+    ++fired;
+    EXPECT_FALSE(s.cancel(h));  // already firing: generation moved on
+  });
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelMiddleTimerKeepsRemainingOrder) {
+  sim::Simulator s;
+  std::vector<int> order;
+  auto a = s.timer_at(1.0, [&] { order.push_back(1); });
+  auto b = s.timer_at(2.0, [&] { order.push_back(2); });
+  auto c = s.timer_at(3.0, [&] { order.push_back(3); });
+  s.cancel(b);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  (void)a;
+  (void)c;
+}
+
+TEST(Simulator, RearmedTimersDoNotAccumulate) {
+  // The RTO pattern: cancel the predecessor, arm a replacement. Dead
+  // timers must leave the queue immediately, so repeated rearming holds
+  // exactly one slot instead of growing the queue per rearm.
+  sim::Simulator s;
+  sim::TimerHandle rto;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    s.cancel(rto);  // stale on the first pass, live afterwards
+    rto = s.timer_after(10.0 + i, [&] { ++fired; });
+    EXPECT_EQ(s.queue_size(), 1u);
+  }
+  EXPECT_EQ(s.timers_cancelled(), 999u);
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+// --- scheduling-in-the-past policy ------------------------------------
+
+TEST(Simulator, PastScheduleClampsToNowAndCounts) {
+  sim::Simulator s;
+  SimTime fired_at = -1.0;
+  s.at(5.0, [&] {
+    s.at(1.0, [&] { fired_at = s.now(); });  // in the past: clamped
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);  // ran at now(), clock stayed monotonic
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  EXPECT_EQ(s.past_schedule_clamps(), 1u);
+}
+
+TEST(Simulator, OnTimeSchedulesAreNotCountedAsClamps) {
+  sim::Simulator s;
+  s.at(1.0, [&] { s.after(0.0, [] {}); });  // exactly now: legal
+  s.run();
+  EXPECT_EQ(s.past_schedule_clamps(), 0u);
+}
+
+// --- (time, seq) determinism across internal queue shapes -------------
+
+TEST(Simulator, LargeBatchPopsInTimeThenScheduleOrder) {
+  // A large up-front batch takes the kernel's sorted-run path; ties on
+  // time must still resolve by insertion order.
+  sim::Simulator s;
+  std::vector<std::pair<double, int>> expect;
+  std::vector<int> order;
+  for (int i = 0; i < 512; ++i) {
+    const double t = static_cast<double>((512 - i) % 37);
+    expect.emplace_back(t, i);
+    s.at(t, [&order, i] { order.push_back(i); });
+  }
+  std::stable_sort(
+      expect.begin(), expect.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  s.run();
+  ASSERT_EQ(order.size(), expect.size());
+  for (std::size_t k = 0; k < expect.size(); ++k) {
+    EXPECT_EQ(order[k], expect[k].second);
+  }
+}
+
+TEST(Simulator, SmallCapturesKeepOrderToo) {
+  // Captures of at most one pointer ride inside the queue entry itself
+  // (no arena slot); the in-entry path must obey the same total order.
+  struct Cell {
+    std::vector<int>* order;
+    int id;
+    void operator()() const { order->push_back(id); }
+  };
+  sim::Simulator s;
+  std::vector<int> order;
+  std::vector<Cell> cells;
+  cells.reserve(256);
+  std::vector<std::pair<double, int>> expect;
+  for (int i = 0; i < 256; ++i) {
+    const double t = static_cast<double>((997 * i) % 19);
+    cells.push_back(Cell{&order, i});
+    expect.emplace_back(t, i);
+    s.at(t, [c = &cells[static_cast<std::size_t>(i)]] { (*c)(); });
+  }
+  std::stable_sort(
+      expect.begin(), expect.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  s.run();
+  ASSERT_EQ(order.size(), expect.size());
+  for (std::size_t k = 0; k < expect.size(); ++k) {
+    EXPECT_EQ(order[k], expect[k].second);
+  }
+}
+
+TEST(Simulator, SchedulingDuringSortedDrainMergesInOrder) {
+  // A second large batch arriving while the first is still draining
+  // exercises the merge of a live sorted run with fresh events.
+  sim::Simulator s;
+  std::vector<SimTime> times;
+  for (int i = 0; i < 100; ++i) {
+    s.at(static_cast<double>(i), [&] { times.push_back(s.now()); });
+  }
+  s.at(10.0, [&] {
+    for (int j = 0; j < 100; ++j) {
+      s.at(10.5 + static_cast<double>(j), [&] { times.push_back(s.now()); });
+    }
+  });
+  s.run();
+  EXPECT_EQ(times.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.queue_size(), 0u);
+}
+
+TEST(Simulator, TimersInterleaveWithBatchedEventsInOrder) {
+  // Cancellable timers live in the heap while plain events may sit in
+  // the pending buffer or a sorted run; the pop order must interleave
+  // all three arrangements by (time, seq).
+  sim::Simulator s;
+  std::vector<int> order;
+  std::vector<std::pair<double, int>> expect;
+  int id = 0;
+  for (int i = 0; i < 64; ++i) {
+    const double t = static_cast<double>((64 - i) % 11);
+    expect.emplace_back(t, id);
+    s.at(t, [&order, id] { order.push_back(id); });
+    ++id;
+    const double tt = static_cast<double>(i % 11);
+    expect.emplace_back(tt, id);
+    s.timer_at(tt, [&order, id] { order.push_back(id); });
+    ++id;
+  }
+  std::stable_sort(
+      expect.begin(), expect.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  s.run();
+  ASSERT_EQ(order.size(), expect.size());
+  for (std::size_t k = 0; k < expect.size(); ++k) {
+    EXPECT_EQ(order[k], expect[k].second);
+  }
+}
+
+TEST(Simulator, MoveTransfersQueueAndHandlesStayValid) {
+  sim::Simulator a;
+  int fired = 0;
+  a.at(1.0, [&fired] { ++fired; });
+  auto h = a.timer_at(2.0, [&fired] { ++fired; });
+  sim::Simulator b(std::move(a));
+  EXPECT_TRUE(b.cancel(h));  // the handle follows the moved arena
+  b.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(b.now(), 1.0);
 }
 
 // --- port / link timing ---------------------------------------------
