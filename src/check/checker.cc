@@ -1,0 +1,718 @@
+#include "check/checker.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "queue/drop_tail.h"
+#include "queue/fifo_base.h"
+#include "sim/host.h"
+#include "sim/queue_disc.h"
+#include "sim/switch.h"
+#include "tcp/receiver.h"
+#include "tcp/sender.h"
+
+namespace dtdctcp::check {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+std::string fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return std::string(buf);
+}
+}  // namespace
+
+const char* violation_kind_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kConservation: return "conservation";
+    case ViolationKind::kFifoOrder: return "fifo-order";
+    case ViolationKind::kOccupancy: return "occupancy";
+    case ViolationKind::kCounter: return "counter";
+    case ViolationKind::kEcnRule: return "ecn-rule";
+    case ViolationKind::kCeCleared: return "ce-cleared";
+    case ViolationKind::kDropLegality: return "drop-legality";
+    case ViolationKind::kTcpRange: return "tcp-range";
+    case ViolationKind::kTcpAccounting: return "tcp-accounting";
+    case ViolationKind::kPacket: return "packet";
+    case ViolationKind::kLeak: return "leak";
+  }
+  return "?";
+}
+
+Checker::Checker(CheckConfig cfg) : cfg_(cfg) {}
+Checker::~Checker() = default;
+
+void Checker::report(ViolationKind kind, std::string message) {
+  ++violation_count_;
+  if (violations_.size() < cfg_.max_violations) {
+    violations_.push_back({kind, last_time_, message});
+  }
+  if (cfg_.abort_on_violation) {
+    std::fprintf(stderr,
+                 "DTDCTCP_CHECK: invariant violation [%s] at t=%.9f: %s\n",
+                 violation_kind_name(kind), last_time_, message.c_str());
+    std::abort();
+  }
+}
+
+bool Checker::violated(ViolationKind kind) const {
+  return std::any_of(violations_.begin(), violations_.end(),
+                     [kind](const Violation& v) { return v.kind == kind; });
+}
+
+ConservationTotals Checker::totals() const {
+  ConservationTotals t;
+  t.injected = injected_;
+  t.delivered = delivered_;
+  t.dropped = dropped_;
+  t.retired = retired_;
+  t.in_flight = live_.size();
+  return t;
+}
+
+std::uint64_t Checker::stamp(sim::Packet& pkt) {
+  if (pkt.uid != 0) {
+    auto it = live_.find(pkt.uid);
+    if (it != live_.end() && it->second.loc == Loc::kTransit) {
+      return pkt.uid;  // the normal multi-hop path
+    }
+    // Unknown or consumed uid re-offered: the on-wire copy of that uid
+    // no longer exists, so this is a new packet wearing a stale header
+    // (unit tests re-enqueue the same Packet object). Restamp.
+  }
+  pkt.uid = next_uid_++;
+  live_.emplace(pkt.uid, LiveRec{Loc::kTransit, nullptr});
+  ++injected_;
+  return pkt.uid;
+}
+
+void Checker::terminate(std::uint64_t uid, std::uint64_t* counter) {
+  if (uid == 0) return;  // predates this checker; not tracked
+  auto it = live_.find(uid);
+  if (it == live_.end()) {
+    report(ViolationKind::kConservation,
+           fmt("packet uid=%llu terminated twice",
+               static_cast<unsigned long long>(uid)));
+    return;
+  }
+  live_.erase(it);
+  ++*counter;
+}
+
+void Checker::packet_sanity(const sim::Packet& pkt) {
+  if (pkt.size_bytes == 0) {
+    report(ViolationKind::kPacket,
+           fmt("packet uid=%llu flow=%u has zero size",
+               static_cast<unsigned long long>(pkt.uid), pkt.flow));
+  }
+  if (pkt.ce && !pkt.ect) {
+    report(ViolationKind::kPacket,
+           fmt("packet uid=%llu flow=%u carries CE without ECT",
+               static_cast<unsigned long long>(pkt.uid), pkt.flow));
+  }
+}
+
+void Checker::classify(const sim::QueueDisc* d, QueueState& qs) {
+  RuleModel& r = qs.rule;
+  if (const auto* f = dynamic_cast<const queue::FifoBase*>(d)) {
+    r.fifo = true;
+    r.pooled = f->shared_pool() != nullptr;
+    r.limit_bytes = f->limit_bytes();
+    r.limit_packets = f->limit_packets();
+  }
+  if (const auto* t = dynamic_cast<const queue::EcnThresholdQueue*>(d)) {
+    r.type = RuleModel::kThreshold;
+    r.k = t->threshold();
+    r.unit = t->unit();
+    r.mark_point = t->mark_point();
+  } else if (const auto* h = dynamic_cast<const queue::EcnHysteresisQueue*>(d)) {
+    r.type = RuleModel::kHysteresis;
+    r.k1 = h->start_threshold();
+    r.k2 = h->stop_threshold();
+    r.margin = h->trend_margin();
+    r.unit = h->unit();
+    r.variant = h->variant();
+  } else if (dynamic_cast<const queue::DropTailQueue*>(d) != nullptr) {
+    r.type = RuleModel::kDropTail;
+  }
+}
+
+Checker::QueueState& Checker::state_for(const sim::QueueDisc* d) {
+  auto [it, inserted] = queues_.try_emplace(d);
+  if (inserted) {
+    QueueState& qs = it->second;
+    qs.base_drops = d->drops();
+    qs.base_marks = d->marks();
+    qs.synced = d->packets() == 0 && d->bytes() == 0;
+    classify(d, qs);
+  }
+  return it->second;
+}
+
+void Checker::hysteresis_step(RuleModel& r, double q) {
+  // Mirrors EcnHysteresisQueue::on_occupancy_change exactly, including
+  // the initial prev/peak/trough conditions.
+  if (r.variant == queue::HysteresisVariant::kHalfBand) return;
+  if (!r.marking) {
+    r.trough = std::min(r.trough, q);
+    const bool rising = r.variant != queue::HysteresisVariant::kTrendPeak ||
+                        q >= r.trough + r.margin;
+    const bool crossed_start = r.prev < r.k1 && q >= r.k1;
+    if ((crossed_start && rising) || q >= r.k2) {
+      r.marking = true;
+      r.peak = q;
+    }
+  } else if (r.variant == queue::HysteresisVariant::kTrendPeak) {
+    r.peak = std::max(r.peak, q);
+    const bool falling = q <= r.peak - r.margin;
+    if ((falling && q < r.k2) || q < r.k1) {
+      r.marking = false;
+      r.trough = q;
+    }
+  } else {  // kDrainToStart
+    const bool crossed_stop = r.prev >= r.k2 && q < r.k2;
+    if (crossed_stop || q < r.k1) {
+      r.marking = false;
+      r.trough = q;
+    }
+  }
+  r.prev = q;
+}
+
+double Checker::occupancy_in_unit(const QueueState& qs,
+                                  queue::ThresholdUnit unit) const {
+  return unit == queue::ThresholdUnit::kPackets
+             ? static_cast<double>(qs.q.size())
+             : static_cast<double>(qs.shadow_bytes);
+}
+
+void Checker::cross_check_occupancy(const sim::QueueDisc* d, QueueState& qs) {
+  if (!qs.synced) return;
+  if (d->packets() != qs.q.size()) {
+    report(ViolationKind::kOccupancy,
+           fmt("disc %p packets()=%zu but shadow holds %zu",
+               static_cast<const void*>(d), d->packets(), qs.q.size()));
+  }
+  if (d->bytes() != qs.shadow_bytes) {
+    report(ViolationKind::kOccupancy,
+           fmt("disc %p bytes()=%zu but shadow holds %llu",
+               static_cast<const void*>(d), d->bytes(),
+               static_cast<unsigned long long>(qs.shadow_bytes)));
+  }
+  if (d->packets() == 0 && d->bytes() != 0) {
+    report(ViolationKind::kOccupancy,
+           fmt("disc %p empty of packets but bytes()=%zu",
+               static_cast<const void*>(d), d->bytes()));
+  }
+}
+
+void Checker::cross_check_counters(const sim::QueueDisc* d, QueueState& qs) {
+  const std::uint64_t drop_delta = d->drops() - qs.base_drops;
+  if (drop_delta != qs.drops) {
+    report(ViolationKind::kCounter,
+           fmt("disc %p counted %llu drops but %llu were observed",
+               static_cast<const void*>(d),
+               static_cast<unsigned long long>(drop_delta),
+               static_cast<unsigned long long>(qs.drops)));
+  }
+  if (qs.synced && (qs.rule.type == RuleModel::kThreshold ||
+                    qs.rule.type == RuleModel::kHysteresis)) {
+    const std::uint64_t mark_delta = d->marks() - qs.base_marks;
+    if (mark_delta != qs.expected_marks) {
+      report(ViolationKind::kCounter,
+             fmt("disc %p counted %llu marks but the rule implies %llu",
+                 static_cast<const void*>(d),
+                 static_cast<unsigned long long>(mark_delta),
+                 static_cast<unsigned long long>(qs.expected_marks)));
+    }
+  }
+}
+
+void Checker::queue_offered(const sim::QueueDisc* d, sim::Packet& pkt,
+                            SimTime now) {
+  ++events_checked_;
+  last_time_ = now;
+  const std::uint64_t uid = stamp(pkt);
+  packet_sanity(pkt);
+  QueueState& qs = state_for(d);
+  qs.offers.push_back(
+      Offer{uid, d->packets(), d->bytes(), pkt.ce, pkt.ect});
+}
+
+void Checker::queue_enqueued(const sim::QueueDisc* d, const sim::Packet& pkt,
+                             SimTime now) {
+  last_time_ = now;
+  QueueState& qs = state_for(d);
+
+  Offer offer{};
+  bool have_offer = false;
+  for (auto it = qs.offers.rbegin(); it != qs.offers.rend(); ++it) {
+    if (it->uid == pkt.uid) {
+      offer = *it;
+      qs.offers.erase(std::next(it).base());
+      have_offer = true;
+      break;
+    }
+  }
+  if (!have_offer) {
+    report(ViolationKind::kConservation,
+           fmt("enqueue of uid=%llu without a matching offer",
+               static_cast<unsigned long long>(pkt.uid)));
+    return;
+  }
+
+  auto live = live_.find(pkt.uid);
+  if (live == live_.end() || live->second.loc != Loc::kTransit) {
+    report(ViolationKind::kConservation,
+           fmt("enqueued uid=%llu is not an in-transit packet",
+               static_cast<unsigned long long>(pkt.uid)));
+  } else {
+    live->second = LiveRec{Loc::kQueued, d};
+  }
+
+  if (qs.synced) {
+    qs.q.push_back(ShadowPkt{pkt.uid, pkt.size_bytes, pkt.ce});
+    qs.shadow_bytes += pkt.size_bytes;
+
+    RuleModel& r = qs.rule;
+    if (r.type == RuleModel::kThreshold) {
+      bool marks = false;
+      if (r.mark_point == queue::MarkPoint::kArrival) {
+        const double prior = r.unit == queue::ThresholdUnit::kPackets
+                                 ? static_cast<double>(offer.prior_pkts)
+                                 : static_cast<double>(offer.prior_bytes);
+        marks = offer.ect && prior >= r.k;
+      }
+      if (marks) ++qs.expected_marks;
+      const bool expected_ce = offer.ce_arrival || marks;
+      if (pkt.ce != expected_ce) {
+        report(ViolationKind::kEcnRule,
+               fmt("threshold queue (K=%g): uid=%llu enqueued with CE=%d, "
+                   "rule says %d (prior occupancy %zu pkts / %zu B)",
+                   r.k, static_cast<unsigned long long>(pkt.uid),
+                   static_cast<int>(pkt.ce), static_cast<int>(expected_ce),
+                   offer.prior_pkts, offer.prior_bytes));
+      }
+    } else if (r.type == RuleModel::kHysteresis) {
+      const double q_after = occupancy_in_unit(qs, r.unit);
+      hysteresis_step(r, q_after);
+      bool marks = false;
+      if (r.variant == queue::HysteresisVariant::kHalfBand) {
+        if (offer.ect) {
+          if (q_after >= r.k2) {
+            marks = true;
+          } else if (q_after >= r.k1) {
+            r.band_toggle = !r.band_toggle;
+            marks = r.band_toggle;
+          }
+        }
+      } else {
+        marks = offer.ect && r.marking;
+        const auto* h = dynamic_cast<const queue::EcnHysteresisQueue*>(d);
+        if (h != nullptr && h->marking() != r.marking) {
+          report(ViolationKind::kEcnRule,
+                 fmt("hysteresis automaton diverged: disc marking=%d, "
+                     "shadow says %d at occupancy %g",
+                     static_cast<int>(h->marking()),
+                     static_cast<int>(r.marking), q_after));
+        }
+      }
+      if (marks) ++qs.expected_marks;
+      const bool expected_ce = offer.ce_arrival || marks;
+      if (pkt.ce != expected_ce) {
+        report(ViolationKind::kEcnRule,
+               fmt("hysteresis queue (K1=%g K2=%g): uid=%llu enqueued with "
+                   "CE=%d, rule says %d (occupancy %g)",
+                   r.k1, r.k2, static_cast<unsigned long long>(pkt.uid),
+                   static_cast<int>(pkt.ce), static_cast<int>(expected_ce),
+                   q_after));
+      }
+    } else if (r.type == RuleModel::kDropTail) {
+      if (pkt.ce != offer.ce_arrival) {
+        report(ViolationKind::kEcnRule,
+               fmt("drop-tail queue changed CE of uid=%llu (%d -> %d)",
+                   static_cast<unsigned long long>(pkt.uid),
+                   static_cast<int>(offer.ce_arrival),
+                   static_cast<int>(pkt.ce)));
+      }
+    }
+  }
+
+  cross_check_occupancy(d, qs);
+  cross_check_counters(d, qs);
+}
+
+void Checker::queue_rejected(const sim::QueueDisc* d, const sim::Packet& pkt,
+                             SimTime now) {
+  last_time_ = now;
+  QueueState& qs = state_for(d);
+
+  Offer offer{};
+  bool have_offer = false;
+  for (auto it = qs.offers.rbegin(); it != qs.offers.rend(); ++it) {
+    if (it->uid == pkt.uid) {
+      offer = *it;
+      qs.offers.erase(std::next(it).base());
+      have_offer = true;
+      break;
+    }
+  }
+
+  ++qs.drops;
+  terminate(pkt.uid, &dropped_);
+
+  // Disciplines without early drop or a shared pool may only reject on
+  // a configured limit; anything else is a phantom drop.
+  const RuleModel& r = qs.rule;
+  if (have_offer && qs.synced && r.fifo && !r.pooled &&
+      r.type != RuleModel::kOther) {
+    const bool over_bytes =
+        r.limit_bytes != 0 &&
+        offer.prior_bytes + pkt.size_bytes > r.limit_bytes;
+    const bool over_packets =
+        r.limit_packets != 0 && offer.prior_pkts + 1 > r.limit_packets;
+    if (!over_bytes && !over_packets) {
+      report(ViolationKind::kDropLegality,
+             fmt("uid=%llu dropped at %zu pkts / %zu B with limits "
+                 "%zu pkts / %zu B",
+                 static_cast<unsigned long long>(pkt.uid), offer.prior_pkts,
+                 offer.prior_bytes, r.limit_packets, r.limit_bytes));
+    }
+  }
+
+  cross_check_occupancy(d, qs);
+  cross_check_counters(d, qs);
+}
+
+void Checker::queue_discarded(const sim::QueueDisc* d, const sim::Packet& pkt,
+                              SimTime now) {
+  last_time_ = now;
+  QueueState& qs = state_for(d);
+  if (qs.synced) {
+    if (qs.q.empty() || qs.q.front().uid != pkt.uid) {
+      report(ViolationKind::kFifoOrder,
+             fmt("internal discard of uid=%llu which is not the shadow head",
+                 static_cast<unsigned long long>(pkt.uid)));
+    } else {
+      qs.shadow_bytes -= qs.q.front().bytes;
+      qs.q.pop_front();
+    }
+  }
+  ++qs.drops;
+
+  auto live = live_.find(pkt.uid);
+  if (live != live_.end() && live->second.loc != Loc::kQueued) {
+    report(ViolationKind::kConservation,
+           fmt("discarded uid=%llu was not queued",
+               static_cast<unsigned long long>(pkt.uid)));
+  }
+  terminate(pkt.uid, &dropped_);
+
+  cross_check_occupancy(d, qs);
+  cross_check_counters(d, qs);
+}
+
+void Checker::queue_dequeued(const sim::QueueDisc* d, const sim::Packet& pkt,
+                             SimTime now) {
+  ++events_checked_;
+  last_time_ = now;
+  QueueState& qs = state_for(d);
+
+  if (qs.synced) {
+    if (qs.q.empty()) {
+      report(ViolationKind::kOccupancy,
+             fmt("dequeue of uid=%llu from an (expectedly) empty queue",
+                 static_cast<unsigned long long>(pkt.uid)));
+    } else {
+      const ShadowPkt front = qs.q.front();
+      qs.q.pop_front();
+      qs.shadow_bytes -= front.bytes;
+      if (front.uid != pkt.uid) {
+        report(ViolationKind::kFifoOrder,
+               fmt("FIFO violation: dequeued uid=%llu but head was uid=%llu",
+                   static_cast<unsigned long long>(pkt.uid),
+                   static_cast<unsigned long long>(front.uid)));
+      }
+      if (front.bytes != pkt.size_bytes) {
+        report(ViolationKind::kOccupancy,
+               fmt("uid=%llu changed size in the queue (%u -> %u)",
+                   static_cast<unsigned long long>(pkt.uid), front.bytes,
+                   pkt.size_bytes));
+      }
+      if (front.ce && !pkt.ce) {
+        report(ViolationKind::kCeCleared,
+               fmt("uid=%llu lost its CE mark in the queue",
+                   static_cast<unsigned long long>(pkt.uid)));
+      }
+
+      RuleModel& r = qs.rule;
+      if (r.type == RuleModel::kThreshold) {
+        bool marks = false;
+        if (r.mark_point == queue::MarkPoint::kDequeue) {
+          marks = pkt.ect && occupancy_in_unit(qs, r.unit) >= r.k;
+        }
+        if (marks) ++qs.expected_marks;
+        const bool expected_ce = front.ce || marks;
+        if (pkt.ce != expected_ce) {
+          report(ViolationKind::kEcnRule,
+                 fmt("threshold queue (K=%g, dequeue point): uid=%llu left "
+                     "with CE=%d, rule says %d",
+                     r.k, static_cast<unsigned long long>(pkt.uid),
+                     static_cast<int>(pkt.ce),
+                     static_cast<int>(expected_ce)));
+        }
+      } else if (r.type == RuleModel::kHysteresis) {
+        hysteresis_step(r, occupancy_in_unit(qs, r.unit));
+        const auto* h = dynamic_cast<const queue::EcnHysteresisQueue*>(d);
+        if (r.variant != queue::HysteresisVariant::kHalfBand &&
+            h != nullptr && h->marking() != r.marking) {
+          report(ViolationKind::kEcnRule,
+                 fmt("hysteresis automaton diverged on dequeue: disc "
+                     "marking=%d, shadow says %d",
+                     static_cast<int>(h->marking()),
+                     static_cast<int>(r.marking)));
+        }
+        if (pkt.ce != front.ce) {
+          report(ViolationKind::kEcnRule,
+                 fmt("hysteresis queue marked uid=%llu at dequeue",
+                     static_cast<unsigned long long>(pkt.uid)));
+        }
+      } else if (r.type == RuleModel::kDropTail && pkt.ce != front.ce) {
+        report(ViolationKind::kEcnRule,
+               fmt("drop-tail queue changed CE of uid=%llu at dequeue",
+                   static_cast<unsigned long long>(pkt.uid)));
+      }
+    }
+  }
+
+  auto live = live_.find(pkt.uid);
+  if (live != live_.end()) {
+    if (live->second.loc != Loc::kQueued || live->second.disc != d) {
+      report(ViolationKind::kConservation,
+             fmt("dequeued uid=%llu was not queued on this disc",
+                 static_cast<unsigned long long>(pkt.uid)));
+    }
+    live->second = LiveRec{Loc::kTransit, nullptr};
+  }
+
+  cross_check_occupancy(d, qs);
+  cross_check_counters(d, qs);
+}
+
+void Checker::queue_bypassed(const sim::QueueDisc* d, sim::Packet& pkt,
+                             bool ce_before, SimTime now) {
+  ++events_checked_;
+  last_time_ = now;
+  stamp(pkt);
+  packet_sanity(pkt);
+  QueueState& qs = state_for(d);
+  const RuleModel& r = qs.rule;
+  // None of the occupancy-rule disciplines mark on bypass (an empty
+  // queue is below any threshold); PIE does (kOther: skipped).
+  if ((r.type == RuleModel::kThreshold || r.type == RuleModel::kHysteresis ||
+       r.type == RuleModel::kDropTail) &&
+      pkt.ce != ce_before) {
+    report(ViolationKind::kEcnRule,
+           fmt("uid=%llu changed CE (%d -> %d) while bypassing an empty "
+               "queue",
+               static_cast<unsigned long long>(pkt.uid),
+               static_cast<int>(ce_before), static_cast<int>(pkt.ce)));
+  }
+}
+
+void Checker::queue_destroyed(const sim::QueueDisc* d) {
+  auto it = queues_.find(d);
+  if (it == queues_.end()) return;
+  // Packets still buffered when their queue dies (network teardown with
+  // long-lived flows) retire; they are neither delivered nor dropped.
+  for (const ShadowPkt& sp : it->second.q) {
+    terminate(sp.uid, &retired_);
+  }
+  queues_.erase(it);
+}
+
+void Checker::packet_injected(const sim::Host* h, sim::Packet& pkt) {
+  (void)h;
+  ++events_checked_;
+  stamp(pkt);
+  packet_sanity(pkt);
+}
+
+void Checker::packet_delivered(const sim::Host* h, const sim::Packet& pkt) {
+  (void)h;
+  ++events_checked_;
+  auto it = live_.find(pkt.uid);
+  if (pkt.uid != 0 && it != live_.end() && it->second.loc != Loc::kTransit) {
+    report(ViolationKind::kConservation,
+           fmt("delivered uid=%llu was not in transit",
+               static_cast<unsigned long long>(pkt.uid)));
+  }
+  terminate(pkt.uid, &delivered_);
+}
+
+void Checker::packet_unbound(const sim::Host* h, const sim::Packet& pkt) {
+  (void)h;
+  terminate(pkt.uid, &dropped_);
+}
+
+void Checker::packet_unrouted(const sim::Switch* s, const sim::Packet& pkt) {
+  (void)s;
+  terminate(pkt.uid, &dropped_);
+}
+
+void Checker::tcp_sender_state(const tcp::TcpSender* s) {
+  ++events_checked_;
+  SenderRec& rec = senders_[s];
+  const tcp::TcpConfig& cfg = s->config();
+
+  if (s->cwnd() < cfg.min_cwnd - kEps || s->cwnd() > cfg.max_cwnd + kEps) {
+    report(ViolationKind::kTcpRange,
+           fmt("flow %u: cwnd=%g outside [%g, %g]", s->flow(), s->cwnd(),
+               cfg.min_cwnd, cfg.max_cwnd));
+  }
+  if (s->alpha() < -kEps || s->alpha() > 1.0 + kEps) {
+    report(ViolationKind::kTcpRange,
+           fmt("flow %u: alpha=%g outside [0, 1]", s->flow(), s->alpha()));
+  }
+  if (s->ssthresh() <= 0.0) {
+    report(ViolationKind::kTcpRange,
+           fmt("flow %u: ssthresh=%g not positive", s->flow(),
+               s->ssthresh()));
+  }
+
+  rec.snd_max = std::max(rec.snd_max, s->snd_nxt());
+  if (s->snd_una() < rec.last_una) {
+    report(ViolationKind::kTcpRange,
+           fmt("flow %u: snd_una moved backwards (%lld -> %lld)", s->flow(),
+               static_cast<long long>(rec.last_una),
+               static_cast<long long>(s->snd_una())));
+  }
+  if (s->snd_una() > rec.snd_max) {
+    report(ViolationKind::kTcpRange,
+           fmt("flow %u: snd_una=%lld beyond highest sent %lld", s->flow(),
+               static_cast<long long>(s->snd_una()),
+               static_cast<long long>(rec.snd_max)));
+  }
+  rec.last_una = s->snd_una();
+}
+
+void Checker::tcp_sender_destroyed(const tcp::TcpSender* s) {
+  senders_.erase(s);
+}
+
+void Checker::tcp_segment_received(const tcp::TcpReceiver* r,
+                                   const sim::Packet& pkt) {
+  ++events_checked_;
+  auto [it, inserted] = receivers_.try_emplace(r);
+  ReceiverRec& rec = it->second;
+  if (inserted) {
+    // The hook fires after the receiver's own counters were bumped.
+    rec.base_bytes = r->bytes_received() - pkt.size_bytes;
+    rec.last_cum = r->next_expected();
+  }
+  rec.sum_bytes += pkt.size_bytes;
+
+  if (pkt.is_ack) {
+    report(ViolationKind::kTcpAccounting,
+           fmt("flow %u: receiver got an ACK as data", r->flow()));
+  }
+  if (pkt.size_bytes != r->config().mss_bytes) {
+    report(ViolationKind::kTcpAccounting,
+           fmt("flow %u: data segment of %u bytes, MSS is %u", r->flow(),
+               pkt.size_bytes, r->config().mss_bytes));
+  }
+  if (rec.base_bytes + rec.sum_bytes != r->bytes_received()) {
+    report(ViolationKind::kTcpAccounting,
+           fmt("flow %u: bytes_received=%llu but %llu observed on the wire",
+               r->flow(),
+               static_cast<unsigned long long>(r->bytes_received()),
+               static_cast<unsigned long long>(rec.base_bytes +
+                                               rec.sum_bytes)));
+  }
+  if (r->next_expected() < rec.last_cum) {
+    report(ViolationKind::kTcpAccounting,
+           fmt("flow %u: cumulative ack moved backwards (%lld -> %lld)",
+               r->flow(), static_cast<long long>(rec.last_cum),
+               static_cast<long long>(r->next_expected())));
+  }
+  rec.last_cum = r->next_expected();
+  if (r->ce_received() > r->segments_received()) {
+    report(ViolationKind::kTcpAccounting,
+           fmt("flow %u: ce_received=%llu exceeds segments_received=%llu",
+               r->flow(),
+               static_cast<unsigned long long>(r->ce_received()),
+               static_cast<unsigned long long>(r->segments_received())));
+  }
+}
+
+void Checker::tcp_receiver_destroyed(const tcp::TcpReceiver* r) {
+  receivers_.erase(r);
+}
+
+bool Checker::take_fault(Fault f) {
+  if (f != cfg_.inject || fault_fired_) return false;
+  if (fault_opportunities_++ < cfg_.inject_after) return false;
+  fault_fired_ = true;
+  return true;
+}
+
+void Checker::finalize() {
+  for (const auto& [disc, qs] : queues_) {
+    if (qs.synced && !qs.q.empty()) {
+      report(ViolationKind::kLeak,
+             fmt("disc %p still holds %zu packets in a drained simulation",
+                 static_cast<const void*>(disc), qs.q.size()));
+    }
+  }
+  if (!live_.empty()) {
+    const auto& [uid, rec] = *live_.begin();
+    report(ViolationKind::kLeak,
+           fmt("%zu packets neither delivered nor dropped (e.g. uid=%llu, "
+               "%s)",
+               live_.size(), static_cast<unsigned long long>(uid),
+               rec.loc == Loc::kQueued ? "queued" : "in transit"));
+  }
+  const std::uint64_t accounted =
+      delivered_ + dropped_ + retired_ + live_.size();
+  if (injected_ != accounted) {
+    report(ViolationKind::kConservation,
+           fmt("conservation sum broken: injected=%llu but "
+               "delivered+dropped+retired+live=%llu",
+               static_cast<unsigned long long>(injected_),
+               static_cast<unsigned long long>(accounted)));
+  }
+}
+
+bool env_requested() {
+  const char* v = std::getenv("DTDCTCP_CHECK");
+  if (v == nullptr || *v == '\0') return false;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0 &&
+         std::strcmp(v, "false") != 0;
+}
+
+CheckScope::CheckScope() {
+  if (compiled() && env_requested()) {
+    checker_ = std::make_unique<Checker>();
+    prev_ = current();
+    set_current(checker_.get());
+  }
+}
+
+CheckScope::CheckScope(const CheckConfig& cfg)
+    : checker_(std::make_unique<Checker>(cfg)) {
+  prev_ = current();
+  set_current(checker_.get());
+}
+
+CheckScope::~CheckScope() {
+  if (checker_ != nullptr) set_current(prev_);
+}
+
+}  // namespace dtdctcp::check

@@ -1,0 +1,273 @@
+// Runtime invariant checker for the packet simulator.
+//
+// Checker implements the check::Hooks interface with shadow models of
+// every component it observes:
+//
+//  * a per-discipline shadow FIFO (uid, size, CE-at-admit) verifying
+//    FIFO order, byte/packet occupancy, CE monotonicity, and the drop
+//    and mark counters against the discipline's own;
+//  * independent re-implementations of the configured marking rule
+//    (single-threshold DCTCP, DT-DCTCP hysteresis in all three
+//    variants, plain drop-tail) verifying every CE decision;
+//  * a global conservation ledger: every packet uid is injected once
+//    and terminates exactly once (delivered, dropped, or retired with
+//    its queue/network), so injected = delivered + dropped + in-flight
+//    at all times;
+//  * per-sender / per-receiver TCP records verifying cwnd/alpha/
+//    ssthresh range bounds, sequence monotonicity, and byte-level
+//    accounting (bytes_received advances by exactly the MSS-sized
+//    segments observed on the wire).
+//
+// The checker is installed for the current thread via CheckScope; the
+// instrumented fast paths see only a thread-local pointer test while no
+// checker is installed, and compile to nothing in Release builds (see
+// check/hook.h).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/hook.h"
+#include "queue/ecn_hysteresis.h"
+#include "queue/ecn_threshold.h"
+#include "sim/packet.h"
+
+namespace dtdctcp::check {
+
+/// True when the hook call sites are compiled into this build (all
+/// configurations except Release, unless forced by -DDTDCTCP_CHECK=ON).
+constexpr bool compiled() { return DTDCTCP_CHECK_COMPILED != 0; }
+
+enum class ViolationKind : std::uint8_t {
+  kConservation,   ///< uid ledger state machine broken
+  kFifoOrder,      ///< dequeue returned a packet other than the head
+  kOccupancy,      ///< packets()/bytes() disagree with the shadow queue
+  kCounter,        ///< drop/mark counters disagree with observed events
+  kEcnRule,        ///< CE decision contradicts the configured marking rule
+  kCeCleared,      ///< a CE mark disappeared from a queued packet
+  kDropLegality,   ///< a drop the configured limits cannot explain
+  kTcpRange,       ///< cwnd/alpha/ssthresh out of bounds
+  kTcpAccounting,  ///< receiver byte/segment accounting broken
+  kPacket,         ///< malformed packet (zero size, CE without ECT)
+  kLeak,           ///< finalize(): packets still live in a drained sim
+};
+
+const char* violation_kind_name(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  SimTime time;  ///< last queue-event time seen before detection
+  std::string message;
+};
+
+struct CheckConfig {
+  /// Deliberate fault committed (once) by the instrumented code, to
+  /// prove the checker detects it. kNone in normal runs.
+  Fault inject = Fault::kNone;
+  /// Number of eligible injection opportunities to skip first, so the
+  /// fault lands mid-run rather than on the first packet.
+  std::uint64_t inject_after = 0;
+  /// Abort the process with a report on the first violation (the mode
+  /// for tests running under DTDCTCP_CHECK=1). False: record and keep
+  /// going (the fuzzer inspects violations() afterwards).
+  bool abort_on_violation = true;
+  /// Recording cap; further violations are counted but not stored.
+  std::size_t max_violations = 64;
+};
+
+/// Running conservation totals maintained by the uid ledger.
+struct ConservationTotals {
+  std::uint64_t injected = 0;   ///< uids first observed
+  std::uint64_t delivered = 0;  ///< handed to a bound flow sink
+  std::uint64_t dropped = 0;    ///< any drop class (queue, unrouted, unbound)
+  std::uint64_t retired = 0;    ///< still buffered when their queue died
+  std::uint64_t in_flight = 0;  ///< live: queued or on the wire
+};
+
+class Checker final : public Hooks {
+ public:
+  explicit Checker(CheckConfig cfg = {});
+  ~Checker() override;
+
+  // Hooks interface --------------------------------------------------
+  void queue_offered(const sim::QueueDisc* d, sim::Packet& pkt,
+                     SimTime now) override;
+  void queue_enqueued(const sim::QueueDisc* d, const sim::Packet& pkt,
+                      SimTime now) override;
+  void queue_rejected(const sim::QueueDisc* d, const sim::Packet& pkt,
+                      SimTime now) override;
+  void queue_discarded(const sim::QueueDisc* d, const sim::Packet& pkt,
+                       SimTime now) override;
+  void queue_dequeued(const sim::QueueDisc* d, const sim::Packet& pkt,
+                      SimTime now) override;
+  void queue_bypassed(const sim::QueueDisc* d, sim::Packet& pkt,
+                      bool ce_before, SimTime now) override;
+  void queue_destroyed(const sim::QueueDisc* d) override;
+  void packet_injected(const sim::Host* h, sim::Packet& pkt) override;
+  void packet_delivered(const sim::Host* h, const sim::Packet& pkt) override;
+  void packet_unbound(const sim::Host* h, const sim::Packet& pkt) override;
+  void packet_unrouted(const sim::Switch* s, const sim::Packet& pkt) override;
+  void tcp_sender_state(const tcp::TcpSender* s) override;
+  void tcp_sender_destroyed(const tcp::TcpSender* s) override;
+  void tcp_segment_received(const tcp::TcpReceiver* r,
+                            const sim::Packet& pkt) override;
+  void tcp_receiver_destroyed(const tcp::TcpReceiver* r) override;
+  bool take_fault(Fault f) override;
+
+  /// End-of-run audit; call only when the simulation has drained (no
+  /// events pending, all finite flows complete): every uid must have
+  /// terminated and every shadow queue must be empty.
+  void finalize();
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  /// Total violations detected (>= violations().size(); recording caps).
+  std::uint64_t violation_count() const { return violation_count_; }
+  bool violated(ViolationKind kind) const;
+  std::uint64_t events_checked() const { return events_checked_; }
+  bool fault_fired() const { return fault_fired_; }
+  ConservationTotals totals() const;
+
+ private:
+  enum class Loc : std::uint8_t { kTransit, kQueued };
+  struct LiveRec {
+    Loc loc;
+    const sim::QueueDisc* disc;  ///< null while in transit
+  };
+
+  struct ShadowPkt {
+    std::uint64_t uid;
+    std::uint32_t bytes;
+    bool ce;
+  };
+
+  /// Pending admission: recorded at queue_offered, consumed by
+  /// queue_enqueued / queue_rejected (a stack: drop observers may
+  /// re-enter send on other ports mid-admission).
+  struct Offer {
+    std::uint64_t uid;
+    std::size_t prior_pkts;
+    std::size_t prior_bytes;
+    bool ce_arrival;
+    bool ect;
+  };
+
+  /// Independent model of the discipline's marking rule.
+  struct RuleModel {
+    enum Type : std::uint8_t { kOther, kDropTail, kThreshold, kHysteresis };
+    Type type = kOther;
+    // FifoBase limits (drop legality); 0 = unlimited.
+    bool fifo = false;
+    bool pooled = false;
+    std::size_t limit_bytes = 0;
+    std::size_t limit_packets = 0;
+    // Threshold rule.
+    double k = 0.0;
+    queue::ThresholdUnit unit = queue::ThresholdUnit::kPackets;
+    queue::MarkPoint mark_point = queue::MarkPoint::kArrival;
+    // Hysteresis rule: shadow automaton state, mirroring
+    // EcnHysteresisQueue exactly (including initial conditions).
+    double k1 = 0.0, k2 = 0.0, margin = 0.0;
+    queue::HysteresisVariant variant = queue::HysteresisVariant::kTrendPeak;
+    bool marking = false;
+    bool band_toggle = false;
+    double prev = 0.0, peak = 0.0, trough = 0.0;
+  };
+
+  struct QueueState {
+    std::deque<ShadowPkt> q;
+    std::uint64_t shadow_bytes = 0;
+    std::uint64_t drops = 0;           ///< observed since registration
+    std::uint64_t expected_marks = 0;  ///< rule-model marks (threshold/hyst)
+    std::uint64_t base_drops = 0;      ///< disc counters at registration
+    std::uint64_t base_marks = 0;
+    /// False when the disc was first seen non-empty (scope installed
+    /// mid-run): occupancy/FIFO/mark checks are skipped, drop-counter
+    /// deltas still verified.
+    bool synced = true;
+    RuleModel rule;
+    std::vector<Offer> offers;
+  };
+
+  QueueState& state_for(const sim::QueueDisc* d);
+  void classify(const sim::QueueDisc* d, QueueState& qs);
+  /// Steps the hysteresis shadow automaton with the new occupancy.
+  static void hysteresis_step(RuleModel& r, double q);
+  double occupancy_in_unit(const QueueState& qs,
+                           queue::ThresholdUnit unit) const;
+
+  /// Ensures the packet has a uid and a ledger entry; returns the uid.
+  /// Fresh uids are assigned when the packet has none or when its uid
+  /// is not a live in-transit packet (unit tests re-offer the same
+  /// Packet object; the on-wire copy of a consumed uid no longer
+  /// exists, so a re-offer is by definition a new packet).
+  std::uint64_t stamp(sim::Packet& pkt);
+  void terminate(std::uint64_t uid, std::uint64_t* counter);
+  void packet_sanity(const sim::Packet& pkt);
+
+  void report(ViolationKind kind, std::string message);
+  void cross_check_occupancy(const sim::QueueDisc* d, QueueState& qs);
+  void cross_check_counters(const sim::QueueDisc* d, QueueState& qs);
+
+  CheckConfig cfg_;
+  std::vector<Violation> violations_;
+  std::uint64_t violation_count_ = 0;
+  std::uint64_t events_checked_ = 0;
+  SimTime last_time_ = 0.0;
+
+  std::unordered_map<const sim::QueueDisc*, QueueState> queues_;
+  std::unordered_map<std::uint64_t, LiveRec> live_;
+  std::uint64_t next_uid_ = 1;
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t retired_ = 0;
+
+  struct SenderRec {
+    std::int64_t snd_max = 0;
+    std::int64_t last_una = 0;
+  };
+  struct ReceiverRec {
+    std::uint64_t base_bytes = 0;   ///< bytes_received before first hook
+    std::uint64_t sum_bytes = 0;    ///< wire bytes observed since
+    std::int64_t last_cum = 0;
+  };
+  std::unordered_map<const tcp::TcpSender*, SenderRec> senders_;
+  std::unordered_map<const tcp::TcpReceiver*, ReceiverRec> receivers_;
+
+  // Fault injection.
+  std::uint64_t fault_opportunities_ = 0;
+  bool fault_fired_ = false;
+};
+
+/// RAII installer binding a Checker to the current thread's hook slot.
+///
+/// Default construction is environment-gated: the scope is active only
+/// when the process environment has DTDCTCP_CHECK=1 (and the hooks are
+/// compiled in), so test binaries can create one unconditionally and
+/// stay zero-cost otherwise. Constructing with an explicit CheckConfig
+/// always installs (used by the fuzzer and the fault-injection tests).
+class CheckScope {
+ public:
+  CheckScope();
+  explicit CheckScope(const CheckConfig& cfg);
+  ~CheckScope();
+  CheckScope(const CheckScope&) = delete;
+  CheckScope& operator=(const CheckScope&) = delete;
+
+  bool active() const { return checker_ != nullptr; }
+  Checker* checker() { return checker_.get(); }
+
+ private:
+  std::unique_ptr<Checker> checker_;
+  Hooks* prev_ = nullptr;
+};
+
+/// True when the environment requests runtime checks (DTDCTCP_CHECK set
+/// to something other than "", "0", "off", "false").
+bool env_requested();
+
+}  // namespace dtdctcp::check

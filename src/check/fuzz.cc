@@ -1,0 +1,412 @@
+#include "check/fuzz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/dumbbell.h"
+#include "core/marking_config.h"
+#include "fluid/fluid_model.h"
+#include "queue/codel.h"
+#include "queue/ecn_hysteresis.h"
+#include "queue/ecn_threshold.h"
+#include "queue/factory.h"
+#include "sim/leaf_spine.h"
+#include "sim/network.h"
+#include "tcp/connection.h"
+#include "util/rng.h"
+
+namespace dtdctcp::check {
+
+namespace {
+
+// Salt constants decorrelating the generator stream from the runtime
+// stream (start times, pair selection) derived from the same seed.
+constexpr std::uint64_t kGenSalt = 0x67656e5f73616c74ULL;   // "gen_salt"
+constexpr std::uint64_t kRunSalt = 0x72756e5f73616c74ULL;   // "run_salt"
+constexpr std::uint64_t kFluidSalt = 0x666c756964313163ULL;
+
+queue::ThresholdUnit unit_of(const FuzzScenario& sc) {
+  return sc.byte_unit ? queue::ThresholdUnit::kBytes
+                      : queue::ThresholdUnit::kPackets;
+}
+
+sim::QueueFactory make_disc(const FuzzScenario& sc) {
+  const std::size_t lim = sc.buffer_packets;
+  switch (sc.disc) {
+    case FuzzDisc::kDropTail:
+      return queue::drop_tail(0, lim);
+    case FuzzDisc::kThreshold: {
+      const double k = sc.k1;
+      const queue::ThresholdUnit unit = unit_of(sc);
+      const queue::MarkPoint mp = sc.mark_at_dequeue
+                                      ? queue::MarkPoint::kDequeue
+                                      : queue::MarkPoint::kArrival;
+      return [=] {
+        return std::make_unique<queue::EcnThresholdQueue>(0, lim, k, unit, mp);
+      };
+    }
+    case FuzzDisc::kHysteresis:
+      return queue::ecn_hysteresis(
+          0, lim, sc.k1, sc.k2, unit_of(sc),
+          static_cast<queue::HysteresisVariant>(sc.hysteresis_variant));
+    case FuzzDisc::kCodel:
+      return [=] {
+        return std::make_unique<queue::CodelQueue>(0, lim,
+                                                   queue::CodelConfig{});
+      };
+  }
+  return queue::drop_tail(0, lim);
+}
+
+tcp::TcpConfig make_tcp(const FuzzScenario& sc) {
+  tcp::TcpConfig cfg;
+  cfg.mode = static_cast<tcp::CcMode>(sc.tcp_mode);
+  cfg.sack_enabled = sc.sack;
+  cfg.pacing = sc.pacing;
+  cfg.delayed_ack = sc.delayed_ack;
+  // Scenarios are short and finite; the paper-era 200 ms min-RTO would
+  // dominate the virtual-time budget after any burst loss.
+  cfg.min_rto = 0.01;
+  cfg.init_rto = 0.01;
+  cfg.max_rto = 1.0;
+  return cfg;
+}
+
+/// Everything a running scenario owns, destroyed (hooks firing) while
+/// the CheckScope is still installed.
+struct Rig {
+  std::unique_ptr<sim::Network> owned_net;  ///< dumbbell / incast
+  sim::LeafSpine fabric;                    ///< leaf-spine (owns its net)
+  sim::Network* net = nullptr;
+  std::vector<std::unique_ptr<tcp::Connection>> conns;
+};
+
+Rig build_rig(const FuzzScenario& sc) {
+  Rig rig;
+  Rng rng(splitmix64(sc.seed ^ kRunSalt));
+  const tcp::TcpConfig tcp_cfg = make_tcp(sc);
+  const SimTime spread = units::microseconds(sc.start_spread_us);
+  const auto edge_queue = queue::drop_tail(0, 0);
+
+  if (sc.topology == FuzzTopology::kLeafSpine) {
+    sim::LeafSpineConfig lcfg;
+    lcfg.spines = 2;
+    lcfg.leaves = 3;
+    lcfg.hosts_per_leaf = 3;
+    lcfg.host_link_bps = units::gbps(sc.edge_gbps);
+    lcfg.fabric_link_bps = units::gbps(sc.bottleneck_gbps);
+    lcfg.host_link_delay = units::microseconds(sc.rtt_us) / 4.0;
+    lcfg.fabric_link_delay = units::microseconds(sc.rtt_us) / 4.0;
+    rig.fabric = sim::build_leaf_spine(lcfg, make_disc(sc));
+    rig.net = rig.fabric.net.get();
+
+    const std::int64_t n_hosts =
+        static_cast<std::int64_t>(rig.fabric.hosts.size());
+    for (int i = 0; i < sc.flows; ++i) {
+      // Mostly cross-rack pairs so flows traverse the fabric marking
+      // queues; same-rack pairs still exercise the leaf hop.
+      const std::int64_t src = rng.uniform_int(0, n_hosts - 1);
+      std::int64_t dst = rng.uniform_int(0, n_hosts - 2);
+      if (dst >= src) ++dst;
+      auto conn = std::make_unique<tcp::Connection>(
+          *rig.net, *rig.fabric.hosts[static_cast<std::size_t>(src)],
+          *rig.fabric.hosts[static_cast<std::size_t>(dst)], tcp_cfg,
+          sc.segments_per_flow);
+      conn->start_at(rng.uniform(0.0, spread + 1e-9));
+      rig.conns.push_back(std::move(conn));
+    }
+    return rig;
+  }
+
+  // Dumbbell and incast share the N-senders -> switch -> sink shape;
+  // incast differs in the generated parameters (high fan-in, small
+  // transfers, near-synchronized starts).
+  rig.owned_net = std::make_unique<sim::Network>();
+  rig.net = rig.owned_net.get();
+  const SimTime leg = units::microseconds(sc.rtt_us) / 4.0;
+  sim::Switch& sw = rig.net->add_switch("sw0");
+  sim::Host& sink = rig.net->add_host("sink");
+  rig.net->attach_host(sink, sw, units::gbps(sc.bottleneck_gbps), leg,
+                       edge_queue, make_disc(sc));
+  std::vector<sim::Host*> senders;
+  for (int i = 0; i < sc.flows; ++i) {
+    sim::Host& h = rig.net->add_host("sender" + std::to_string(i));
+    rig.net->attach_host(h, sw, units::gbps(sc.edge_gbps), leg, edge_queue,
+                         edge_queue);
+    senders.push_back(&h);
+  }
+  rig.net->build_routes();
+  for (int i = 0; i < sc.flows; ++i) {
+    auto conn = std::make_unique<tcp::Connection>(
+        *rig.net, *senders[static_cast<std::size_t>(i)], sink, tcp_cfg,
+        sc.segments_per_flow);
+    conn->start_at(rng.uniform(0.0, spread + 1e-9));
+    rig.conns.push_back(std::move(conn));
+  }
+  return rig;
+}
+
+std::string fmt_line(const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace
+
+const char* fuzz_topology_name(FuzzTopology t) {
+  switch (t) {
+    case FuzzTopology::kDumbbell:
+      return "dumbbell";
+    case FuzzTopology::kLeafSpine:
+      return "leaf-spine";
+    case FuzzTopology::kIncast:
+      return "incast";
+  }
+  return "?";
+}
+
+const char* fuzz_disc_name(FuzzDisc d) {
+  switch (d) {
+    case FuzzDisc::kDropTail:
+      return "droptail";
+    case FuzzDisc::kThreshold:
+      return "threshold";
+    case FuzzDisc::kHysteresis:
+      return "hysteresis";
+    case FuzzDisc::kCodel:
+      return "codel";
+  }
+  return "?";
+}
+
+std::string FuzzScenario::describe() const {
+  return fmt_line(
+      "seed=%llu %s/%s flows=%d segs=%lld bneck=%.0fG rtt=%.0fus buf=%zu "
+      "k1=%.0f k2=%.0f%s var=%d mode=%d%s%s%s",
+      static_cast<unsigned long long>(seed), fuzz_topology_name(topology),
+      fuzz_disc_name(disc), flows,
+      static_cast<long long>(segments_per_flow), bottleneck_gbps, rtt_us,
+      buffer_packets, k1, k2, byte_unit ? "B" : "p", hysteresis_variant,
+      tcp_mode, sack ? " sack" : "", pacing ? " pacing" : "",
+      delayed_ack ? " delack" : "");
+}
+
+std::string FuzzScenario::repro_command() const {
+  const FuzzScenario base = generate_scenario(seed);
+  std::string cmd =
+      "sim_fuzz --repro " + std::to_string(seed);
+  if (flows != base.flows) cmd += " --flows " + std::to_string(flows);
+  if (segments_per_flow != base.segments_per_flow) {
+    cmd += " --segments " + std::to_string(segments_per_flow);
+  }
+  if (buffer_packets != base.buffer_packets) {
+    cmd += " --buffer " + std::to_string(buffer_packets);
+  }
+  return cmd;
+}
+
+FuzzScenario generate_scenario(std::uint64_t seed) {
+  FuzzScenario sc;
+  sc.seed = seed;
+  Rng rng(splitmix64(seed ^ kGenSalt));
+
+  const double tp = rng.uniform(0.0, 1.0);
+  sc.topology = tp < 0.5    ? FuzzTopology::kDumbbell
+                : tp < 0.75 ? FuzzTopology::kLeafSpine
+                            : FuzzTopology::kIncast;
+
+  const double dp = rng.uniform(0.0, 1.0);
+  sc.disc = dp < 0.20   ? FuzzDisc::kDropTail
+            : dp < 0.55 ? FuzzDisc::kThreshold
+            : dp < 0.90 ? FuzzDisc::kHysteresis
+                        : FuzzDisc::kCodel;
+
+  const bool incast = sc.topology == FuzzTopology::kIncast;
+  sc.flows = static_cast<int>(incast ? rng.uniform_int(4, 24)
+                                     : rng.uniform_int(2, 12));
+  sc.segments_per_flow =
+      incast ? rng.uniform_int(5, 60) : rng.uniform_int(20, 300);
+
+  sc.bottleneck_gbps = rng.bernoulli(0.5) ? 10.0 : 1.0;
+  sc.edge_gbps =
+      rng.bernoulli(0.3) ? sc.bottleneck_gbps * 4.0 : sc.bottleneck_gbps;
+  sc.rtt_us = rng.uniform(40.0, 400.0);
+  sc.buffer_packets = rng.bernoulli(0.25)
+                          ? 0
+                          : static_cast<std::size_t>(rng.uniform_int(16, 250));
+
+  double kp1 = rng.uniform(2.0, 64.0);
+  double kp2 = rng.bernoulli(0.15) ? kp1 : kp1 + rng.uniform(0.0, 40.0);
+  sc.byte_unit = rng.bernoulli(0.25);
+  const double scale = sc.byte_unit ? 1500.0 : 1.0;
+  sc.k1 = std::floor(kp1) * scale;
+  sc.k2 = std::floor(kp2) * scale;
+  sc.hysteresis_variant = static_cast<int>(rng.uniform_int(0, 2));
+  sc.mark_at_dequeue = rng.bernoulli(0.25);
+
+  const double mp = rng.uniform(0.0, 1.0);
+  sc.tcp_mode = static_cast<int>(mp < 0.50   ? tcp::CcMode::kDctcp
+                                 : mp < 0.65 ? tcp::CcMode::kReno
+                                 : mp < 0.80 ? tcp::CcMode::kEcnReno
+                                 : mp < 0.90 ? tcp::CcMode::kCubic
+                                             : tcp::CcMode::kD2tcp);
+  sc.sack = rng.bernoulli(0.3);
+  sc.pacing = rng.bernoulli(0.25);
+  sc.delayed_ack = rng.bernoulli(0.3);
+  sc.start_spread_us = incast ? rng.uniform(0.0, 20.0)
+                              : rng.uniform(0.0, 1000.0);
+  return sc;
+}
+
+FuzzResult run_scenario(const FuzzScenario& sc, const CheckConfig& cfg) {
+  FuzzResult res;
+  res.checks_compiled = compiled();
+
+  CheckScope scope(cfg);
+  {
+    Rig rig = build_rig(sc);
+    int done = 0;
+    for (auto& conn : rig.conns) {
+      conn->set_on_complete([&done](SimTime) { ++done; });
+    }
+    rig.net->sim().run_until(sc.sim_cap_s);
+    res.drained = rig.net->sim().empty();
+    res.completed = done == sc.flows;
+    res.events = rig.net->sim().events_processed();
+    if (res.drained && scope.checker() != nullptr) {
+      scope.checker()->finalize();
+    }
+  }  // topology + endpoints destroyed with the checker still installed
+
+  if (Checker* c = scope.checker()) {
+    res.fault_fired = c->fault_fired();
+    res.violation_count = c->violation_count();
+    res.violations = c->violations();
+    res.totals = c->totals();
+  }
+  return res;
+}
+
+FuzzScenario shrink_scenario(FuzzScenario failing, const CheckConfig& cfg,
+                             int max_attempts) {
+  CheckConfig quiet = cfg;
+  quiet.abort_on_violation = false;
+  const auto still_fails = [&](const FuzzScenario& sc) {
+    return run_scenario(sc, quiet).violation_count > 0;
+  };
+
+  int attempts = 0;
+  bool progress = true;
+  while (progress && attempts < max_attempts) {
+    progress = false;
+    if (failing.flows > 1 && attempts < max_attempts) {
+      FuzzScenario c = failing;
+      c.flows = std::max(1, failing.flows / 2);
+      ++attempts;
+      if (still_fails(c)) {
+        failing = c;
+        progress = true;
+      }
+    }
+    if (failing.segments_per_flow > 1 && attempts < max_attempts) {
+      FuzzScenario c = failing;
+      c.segments_per_flow = std::max<std::int64_t>(
+          1, failing.segments_per_flow / 2);
+      ++attempts;
+      if (still_fails(c)) {
+        failing = c;
+        progress = true;
+      }
+    }
+    if (failing.buffer_packets > 1 && attempts < max_attempts) {
+      FuzzScenario c = failing;
+      c.buffer_packets = failing.buffer_packets / 2;
+      ++attempts;
+      if (still_fails(c)) {
+        failing = c;
+        progress = true;
+      }
+    }
+  }
+  return failing;
+}
+
+FluidCrossResult fluid_cross_check(std::uint64_t seed) {
+  Rng rng(splitmix64(seed ^ kFluidSalt));
+
+  core::DumbbellConfig dc;
+  dc.flows = static_cast<std::size_t>(rng.uniform_int(6, 14));
+  dc.bottleneck_bps = units::gbps(10);
+  dc.edge_bps = units::gbps(10);
+  dc.rtt = units::microseconds(rng.uniform(60.0, 160.0));
+  dc.tcp.mode = tcp::CcMode::kDctcp;
+  dc.switch_buffer_packets = 0;  // unlimited: the stable regime is dropless
+  dc.warmup = 0.15;
+  dc.measure = 0.35;
+  dc.seed = derive_seed(seed, 7);
+
+  const double mss = static_cast<double>(dc.tcp.mss_bytes);
+  const double cap_pps =
+      units::packets_per_second(dc.bottleneck_bps, dc.tcp.mss_bytes);
+  const double bdp_pkts = cap_pps * dc.rtt;
+  // K well above the DCTCP stability floor (~0.17 * C*RTT) so the queue
+  // never empties and the fluid operating point is the valid regime.
+  const double k = std::max(25.0, rng.uniform(0.5, 0.9) * bdp_pkts);
+  const bool hysteresis = rng.bernoulli(0.5);
+  dc.marking = hysteresis
+                   ? core::MarkingConfig::dt_dctcp(k, k + rng.uniform(4.0, 12.0))
+                   : core::MarkingConfig::dctcp(k);
+  (void)mss;
+
+  FluidCrossResult res;
+  CheckConfig cc;
+  cc.abort_on_violation = false;
+  std::uint64_t violations = 0;
+  core::DumbbellResult sim;
+  {
+    // run_dumbbell tears the network down mid-flight, so the scope runs
+    // every per-event check but never finalize().
+    CheckScope scope(cc);
+    sim = core::run_dumbbell(dc);
+    if (scope.checker() != nullptr) {
+      violations = scope.checker()->violation_count();
+    }
+  }
+
+  fluid::FluidParams fp;
+  fp.capacity_pps = cap_pps;
+  fp.flows = static_cast<double>(dc.flows);
+  fp.rtt = dc.rtt;
+  fp.g = dc.tcp.dctcp_g;
+  fp.marking = dc.marking.fluid_spec(dc.tcp.mss_bytes);
+  const fluid::FluidState op = fluid::operating_point(fp);
+
+  res.sim_queue_mean = sim.queue_mean;
+  res.sim_utilization = sim.utilization;
+  res.fluid_queue = op.q;
+  res.violation_count = violations;
+  // The packet process oscillates around the marking point with
+  // amplitude ~ O(N + sqrt(C*RTT)); the fluid q0 is the cycle center.
+  const double tol = std::max(
+      12.0, 0.35 * op.q + 1.5 * static_cast<double>(dc.flows));
+  res.queue_ok = std::abs(sim.queue_mean - op.q) <= tol;
+  res.utilization_ok = sim.utilization >= 0.85 && sim.utilization <= 1.02;
+  res.detail = fmt_line(
+      "seed=%llu N=%zu rtt=%.0fus %s K=%.0f: sim q=%.1f fluid q0=%.1f "
+      "(tol %.1f) util=%.3f viol=%llu",
+      static_cast<unsigned long long>(seed), dc.flows, dc.rtt * 1e6,
+      hysteresis ? "DT" : "single", k, sim.queue_mean, op.q, tol,
+      sim.utilization, static_cast<unsigned long long>(violations));
+  return res;
+}
+
+}  // namespace dtdctcp::check

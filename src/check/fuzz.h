@@ -1,0 +1,113 @@
+// Property-based fuzz harness for the packet simulator.
+//
+// A FuzzScenario is a fully explicit description of one randomized
+// short simulation: topology (dumbbell / leaf-spine / incast), flow
+// count, link rates, RTT, buffer size, marking discipline and
+// thresholds, TCP mode and options — every field derived
+// deterministically from a single seed by generate_scenario(). Running
+// a scenario installs the invariant Checker (check/checker.h) with all
+// checks enabled, drives the finite flows to completion, and audits
+// conservation with Checker::finalize() once the event queue drains.
+//
+// Because every dimension is an explicit field, a failing seed can be
+// shrunk: shrink_scenario() halves flows / segments / buffer while the
+// failure persists and the result prints as a copy-pasteable
+// `sim_fuzz --repro <seed> [--flows N ...]` command line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/checker.h"
+#include "util/units.h"
+
+namespace dtdctcp::check {
+
+enum class FuzzTopology : std::uint8_t { kDumbbell, kLeafSpine, kIncast };
+enum class FuzzDisc : std::uint8_t { kDropTail, kThreshold, kHysteresis, kCodel };
+
+const char* fuzz_topology_name(FuzzTopology t);
+const char* fuzz_disc_name(FuzzDisc d);
+
+struct FuzzScenario {
+  std::uint64_t seed = 1;
+  FuzzTopology topology = FuzzTopology::kDumbbell;
+  FuzzDisc disc = FuzzDisc::kThreshold;
+
+  int flows = 8;                      ///< connections (incast: fan-in)
+  std::int64_t segments_per_flow = 100;
+  double bottleneck_gbps = 10.0;
+  double edge_gbps = 10.0;
+  double rtt_us = 100.0;              ///< propagation RTT, dumbbell legs
+  std::size_t buffer_packets = 0;     ///< bottleneck limit; 0 = unlimited
+
+  bool byte_unit = false;             ///< thresholds in bytes, not packets
+  double k1 = 40.0;                   ///< K (single) / K1 (hysteresis)
+  double k2 = 40.0;                   ///< K2 (hysteresis)
+  int hysteresis_variant = 0;         ///< queue::HysteresisVariant
+  bool mark_at_dequeue = false;       ///< threshold only: MarkPoint::kDequeue
+
+  int tcp_mode = 2;                   ///< tcp::CcMode (default kDctcp)
+  bool sack = false;
+  bool pacing = false;
+  bool delayed_ack = false;
+  double start_spread_us = 500.0;     ///< sender start-time stagger
+  double sim_cap_s = 30.0;            ///< virtual-time safety cap
+
+  /// One-line human-readable summary.
+  std::string describe() const;
+  /// Copy-pasteable `sim_fuzz` invocation reproducing this scenario:
+  /// the seed, plus explicit --flows/--segments/--buffer overrides for
+  /// any dimension that differs from what the seed generates (i.e.
+  /// after shrinking).
+  std::string repro_command() const;
+};
+
+/// Derives every scenario dimension from `seed` (deterministic).
+FuzzScenario generate_scenario(std::uint64_t seed);
+
+struct FuzzResult {
+  bool checks_compiled = false;  ///< hook call sites present in this build
+  bool drained = false;          ///< event queue empty at the end
+  bool completed = false;        ///< every finite flow completed
+  bool fault_fired = false;      ///< the injected fault was committed
+  std::uint64_t events = 0;      ///< simulator events processed
+  std::uint64_t violation_count = 0;
+  std::vector<Violation> violations;
+  ConservationTotals totals;
+};
+
+/// Builds the scenario's topology, runs it to completion under a
+/// CheckScope configured from `cfg`, finalizes the conservation audit
+/// when the simulation drained, and returns what the checker saw.
+FuzzResult run_scenario(const FuzzScenario& sc, const CheckConfig& cfg);
+
+/// Deterministic shrinking: repeatedly halves flows, segments, and
+/// buffer (in that order, round-robin) while the scenario still
+/// produces at least one violation under `cfg` (re-run each attempt
+/// with abort_on_violation forced off). Returns the smallest failing
+/// scenario found; `failing` itself if no smaller one still fails.
+FuzzScenario shrink_scenario(FuzzScenario failing, const CheckConfig& cfg,
+                             int max_attempts = 48);
+
+/// Packet-simulator vs fluid-model cross-validation.
+struct FluidCrossResult {
+  double sim_queue_mean = 0.0;   ///< packets, measured window
+  double sim_utilization = 0.0;
+  double fluid_queue = 0.0;      ///< operating-point q0, packets
+  bool queue_ok = false;         ///< sim queue within tolerance of q0
+  bool utilization_ok = false;   ///< fluid predicts ~1; sim must be close
+  std::uint64_t violation_count = 0;  ///< invariant violations during the run
+  std::string detail;            ///< one-line report
+  bool ok() const { return queue_ok && utilization_ok && violation_count == 0; }
+};
+
+/// Draws a stable-regime DCTCP/DT-DCTCP dumbbell from `seed` (large
+/// enough K that the fluid operating point is valid: queue never
+/// empties, utilization ~ 1), runs the packet simulator under the
+/// invariant checker, and compares steady-state queue mean and
+/// utilization against fluid::operating_point with generous tolerances.
+FluidCrossResult fluid_cross_check(std::uint64_t seed);
+
+}  // namespace dtdctcp::check

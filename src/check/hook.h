@@ -1,0 +1,146 @@
+// Invariant-check hook points for the simulation core.
+//
+// This header is the only piece of src/check that the hot layers (sim/,
+// queue/, tcp/) ever see. It defines an abstract `Hooks` interface plus
+// two macros the instrumented code calls at interesting events:
+//
+//   DTDCTCP_CHECK_HOOK(queue_enqueued(this, pkt, now));
+//   if (DTDCTCP_CHECK_INJECT(kUncountedDrop)) { ...skip the counter... }
+//
+// When DTDCTCP_CHECK_COMPILED is 0 (Release builds, unless the
+// DTDCTCP_CHECK CMake option forces it on) both macros expand to
+// nothing / `false`, so the instrumented fast paths compile exactly as
+// before. When compiled in, the macros still cost only a thread-local
+// pointer test per event until a checker is installed (see
+// check/checker.h, CheckScope), so Debug tests without DTDCTCP_CHECK=1
+// in the environment run essentially unchanged.
+//
+// The current-hooks pointer is thread_local because the parallel sweep
+// runner drives independent Simulators on worker threads; each thread
+// gets its own checker or none.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+#ifndef DTDCTCP_CHECK_COMPILED
+#define DTDCTCP_CHECK_COMPILED 0
+#endif
+
+namespace dtdctcp::sim {
+class Port;
+class QueueDisc;
+class Host;
+class Switch;
+struct Packet;
+}  // namespace dtdctcp::sim
+
+namespace dtdctcp::tcp {
+class TcpSender;
+class TcpReceiver;
+}  // namespace dtdctcp::tcp
+
+namespace dtdctcp::check {
+
+/// Deliberate invariant breakages, used to prove the checker fires.
+/// Each mode is consulted (via Hooks::take_fault) at the code site that
+/// would commit the corruption; the installed checker decides whether
+/// this run injects it.
+enum class Fault : std::uint8_t {
+  kNone = 0,
+  kUncountedDrop,   ///< FifoBase overflow drop skips count_drop()
+  kFifoSwap,        ///< FifoBase dequeues the 2nd packet instead of the head
+  kOccupancyLeak,   ///< FifoBase byte counter drifts by +1
+  kSpuriousMark,    ///< FifoBase sets CE although the discipline did not
+  kLostDelivery,    ///< Host::receive silently discards a packet
+  kAlphaRange,      ///< TcpSender's alpha estimate leaves [0, 1]
+};
+
+inline const char* fault_name(Fault f) {
+  switch (f) {
+    case Fault::kNone: return "none";
+    case Fault::kUncountedDrop: return "uncounted-drop";
+    case Fault::kFifoSwap: return "fifo-swap";
+    case Fault::kOccupancyLeak: return "occupancy-leak";
+    case Fault::kSpuriousMark: return "spurious-mark";
+    case Fault::kLostDelivery: return "lost-delivery";
+    case Fault::kAlphaRange: return "alpha-range";
+  }
+  return "?";
+}
+
+/// Event sink implemented by check::Checker. All packet references are
+/// post-event state; `queue_offered` runs pre-admission and may mutate
+/// the packet (it stamps Packet::uid on first contact).
+class Hooks {
+ public:
+  virtual ~Hooks() = default;
+
+  // --- queue discipline events (fired by the QueueDisc wrappers) ---
+  virtual void queue_offered(const sim::QueueDisc* d, sim::Packet& pkt,
+                             SimTime now) = 0;
+  virtual void queue_enqueued(const sim::QueueDisc* d, const sim::Packet& pkt,
+                              SimTime now) = 0;
+  virtual void queue_rejected(const sim::QueueDisc* d, const sim::Packet& pkt,
+                              SimTime now) = 0;
+  /// A packet the discipline dropped internally, after it had been
+  /// admitted (CoDel discarding non-ECT packets at dequeue).
+  virtual void queue_discarded(const sim::QueueDisc* d, const sim::Packet& pkt,
+                               SimTime now) = 0;
+  virtual void queue_dequeued(const sim::QueueDisc* d, const sim::Packet& pkt,
+                              SimTime now) = 0;
+  virtual void queue_bypassed(const sim::QueueDisc* d, sim::Packet& pkt,
+                              bool ce_before, SimTime now) = 0;
+  virtual void queue_destroyed(const sim::QueueDisc* d) = 0;
+
+  // --- node events ---
+  virtual void packet_injected(const sim::Host* h, sim::Packet& pkt) = 0;
+  virtual void packet_delivered(const sim::Host* h, const sim::Packet& pkt) = 0;
+  virtual void packet_unbound(const sim::Host* h, const sim::Packet& pkt) = 0;
+  virtual void packet_unrouted(const sim::Switch* s,
+                               const sim::Packet& pkt) = 0;
+
+  // --- TCP events ---
+  virtual void tcp_sender_state(const tcp::TcpSender* s) = 0;
+  virtual void tcp_sender_destroyed(const tcp::TcpSender* s) = 0;
+  virtual void tcp_segment_received(const tcp::TcpReceiver* r,
+                                    const sim::Packet& pkt) = 0;
+  virtual void tcp_receiver_destroyed(const tcp::TcpReceiver* r) = 0;
+
+  /// Returns true when the instrumented site should commit the given
+  /// deliberate fault (at most once per checker; see CheckConfig).
+  virtual bool take_fault(Fault f) = 0;
+};
+
+namespace detail {
+/// Function-local so the header stays include-order safe; one slot per
+/// thread (the parallel runner shards simulations across threads).
+inline Hooks*& current_slot() {
+  thread_local Hooks* hooks = nullptr;
+  return hooks;
+}
+}  // namespace detail
+
+inline Hooks* current() { return detail::current_slot(); }
+inline void set_current(Hooks* hooks) { detail::current_slot() = hooks; }
+
+}  // namespace dtdctcp::check
+
+#if DTDCTCP_CHECK_COMPILED
+#define DTDCTCP_CHECK_HOOK(call)                                   \
+  do {                                                             \
+    if (::dtdctcp::check::Hooks* dtdctcp_hooks_ =                  \
+            ::dtdctcp::check::current()) {                         \
+      dtdctcp_hooks_->call;                                        \
+    }                                                              \
+  } while (0)
+#define DTDCTCP_CHECK_INJECT(fault)                                \
+  (::dtdctcp::check::current() != nullptr &&                       \
+   ::dtdctcp::check::current()->take_fault(::dtdctcp::check::Fault::fault))
+#else
+#define DTDCTCP_CHECK_HOOK(call) \
+  do {                           \
+  } while (0)
+#define DTDCTCP_CHECK_INJECT(fault) false
+#endif

@@ -32,7 +32,12 @@ class CodelQueue final : public sim::QueueDisc {
              CodelConfig cfg)
       : limit_bytes_(limit_bytes), limit_packets_(limit_packets), cfg_(cfg) {}
 
-  sim::EnqueueResult enqueue(sim::Packet& pkt, SimTime now) override {
+  std::size_t packets() const override { return q_.size(); }
+  std::size_t bytes() const override { return bytes_; }
+  bool dropping_state() const { return dropping_; }
+
+ protected:
+  sim::EnqueueResult do_enqueue(sim::Packet& pkt, SimTime now) override {
     if ((limit_bytes_ != 0 && bytes_ + pkt.size_bytes > limit_bytes_) ||
         (limit_packets_ != 0 && q_.size() + 1 > limit_packets_)) {
       count_drop();
@@ -45,7 +50,7 @@ class CodelQueue final : public sim::QueueDisc {
     return sim::EnqueueResult::kEnqueued;
   }
 
-  std::optional<sim::Packet> dequeue(SimTime now) override {
+  std::optional<sim::Packet> do_dequeue(SimTime now) override {
     while (!q_.empty()) {
       sim::Packet pkt = pop(now);
       const SimTime sojourn = now - pkt.enqueue_ts;
@@ -79,10 +84,6 @@ class CodelQueue final : public sim::QueueDisc {
     first_above_ = 0.0;
     return std::nullopt;
   }
-
-  std::size_t packets() const override { return q_.size(); }
-  std::size_t bytes() const override { return bytes_; }
-  bool dropping_state() const { return dropping_; }
 
  private:
   sim::Packet pop(SimTime now) {
@@ -118,8 +119,9 @@ class CodelQueue final : public sim::QueueDisc {
       count_mark();
       return true;
     }
-    count_drop();
-    (void)now;
+    // Admitted earlier but never delivered: conservation accounting
+    // must see this as an internal discard, not an admission reject.
+    discard(pkt, now);
     return false;
   }
 

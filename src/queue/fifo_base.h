@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <deque>
 #include <optional>
+#include <utility>
 
 #include "sim/queue_disc.h"
 #include "sim/shared_buffer.h"
@@ -25,9 +26,22 @@ class FifoBase : public sim::QueueDisc {
   FifoBase(std::size_t limit_bytes, std::size_t limit_packets)
       : limit_bytes_(limit_bytes), limit_packets_(limit_packets) {}
 
-  sim::EnqueueResult enqueue(sim::Packet& pkt, SimTime now) final {
+  std::size_t packets() const final { return q_.size(); }
+  std::size_t bytes() const final { return bytes_; }
+
+  /// Charges this queue's occupancy against a switch-wide shared memory
+  /// pool (see sim/shared_buffer.h). Set before any traffic; the pool
+  /// must outlive the queue.
+  void set_shared_pool(sim::SharedBufferPool* pool) { pool_ = pool; }
+
+  sim::SharedBufferPool* shared_pool() const { return pool_; }
+  std::size_t limit_bytes() const { return limit_bytes_; }
+  std::size_t limit_packets() const { return limit_packets_; }
+
+ protected:
+  sim::EnqueueResult do_enqueue(sim::Packet& pkt, SimTime now) final {
     if (would_overflow(pkt)) {
-      count_drop();
+      if (!DTDCTCP_CHECK_INJECT(kUncountedDrop)) count_drop();
       trace("drop", pkt, now);
       return sim::EnqueueResult::kDropped;
     }
@@ -45,10 +59,14 @@ class FifoBase : public sim::QueueDisc {
     }
     q_.push_back(pkt);
     bytes_ += pkt.size_bytes;
+    if (DTDCTCP_CHECK_INJECT(kOccupancyLeak)) bytes_ += 1;
     on_occupancy_change(now, /*grew=*/true);
     // The marking state machine may decide the packet (now at the tail)
     // should carry CE; let the discipline finalize it.
     after_admit(q_.back(), now);
+    if (pkt.ect && !q_.back().ce && DTDCTCP_CHECK_INJECT(kSpuriousMark)) {
+      q_.back().ce = true;
+    }
     pkt.ce = q_.back().ce;  // keep caller's view consistent (unused by port)
     if (!ce_on_arrival && pkt.ce) trace("mark", pkt, now);
     trace("enq", pkt, now);
@@ -56,8 +74,11 @@ class FifoBase : public sim::QueueDisc {
     return sim::EnqueueResult::kEnqueued;
   }
 
-  std::optional<sim::Packet> dequeue(SimTime now) final {
+  std::optional<sim::Packet> do_dequeue(SimTime now) final {
     if (q_.empty()) return std::nullopt;
+    if (q_.size() >= 2 && DTDCTCP_CHECK_INJECT(kFifoSwap)) {
+      std::swap(q_[0], q_[1]);
+    }
     sim::Packet pkt = q_.front();
     q_.pop_front();
     bytes_ -= pkt.size_bytes;
@@ -71,15 +92,6 @@ class FifoBase : public sim::QueueDisc {
     return pkt;
   }
 
-  std::size_t packets() const final { return q_.size(); }
-  std::size_t bytes() const final { return bytes_; }
-
-  /// Charges this queue's occupancy against a switch-wide shared memory
-  /// pool (see sim/shared_buffer.h). Set before any traffic; the pool
-  /// must outlive the queue.
-  void set_shared_pool(sim::SharedBufferPool* pool) { pool_ = pool; }
-
- protected:
   /// Called with the packet before it joins the queue; occupancy
   /// accessors still exclude it. May mark the packet (set pkt.ce).
   /// Returning false drops the packet (probabilistic early drop);

@@ -48,7 +48,7 @@ class PieQueue final : public FifoBase {
     return false;  // early drop
   }
 
-  void on_bypass(sim::Packet& pkt, SimTime now) override {
+  void do_bypass(sim::Packet& pkt, SimTime now) override {
     // PIE's probability applies to every arrival, including one that
     // finds the transmitter idle (the controller's p decays slowly, so
     // skipping bypass packets would under-signal at light load).

@@ -1,0 +1,45 @@
+// Exact per-component packet accounting, exposed so the invariant
+// checker and tests can read injected/delivered/dropped/marked totals
+// directly instead of re-deriving them from traces.
+#pragma once
+
+#include <cstdint>
+
+namespace dtdctcp::sim {
+
+/// Additive counter bundle. Queue disciplines fill the queue-side
+/// fields; ports add link-side transmission totals; switches and hosts
+/// aggregate their ports and add their own drop classes.
+struct Counters {
+  // Queue-side (maintained by the QueueDisc wrappers).
+  std::uint64_t offered = 0;    ///< arrivals seen by a discipline
+  std::uint64_t enqueued = 0;   ///< admitted into a queue
+  std::uint64_t dequeued = 0;   ///< left a queue toward the wire
+  std::uint64_t bypassed = 0;   ///< went straight to an idle transmitter
+  std::uint64_t dropped = 0;    ///< rejected or discarded by a discipline
+  std::uint64_t marked = 0;     ///< CE-marked by a discipline
+
+  // Link-side (maintained by Port).
+  std::uint64_t sent_packets = 0;
+  std::uint64_t sent_bytes = 0;
+
+  // Node-side drop classes (Switch / Host).
+  std::uint64_t unrouted_dropped = 0;  ///< no egress route at a switch
+  std::uint64_t unbound_dropped = 0;   ///< no flow handler at a host
+
+  Counters& operator+=(const Counters& o) {
+    offered += o.offered;
+    enqueued += o.enqueued;
+    dequeued += o.dequeued;
+    bypassed += o.bypassed;
+    dropped += o.dropped;
+    marked += o.marked;
+    sent_packets += o.sent_packets;
+    sent_bytes += o.sent_bytes;
+    unrouted_dropped += o.unrouted_dropped;
+    unbound_dropped += o.unbound_dropped;
+    return *this;
+  }
+};
+
+}  // namespace dtdctcp::sim

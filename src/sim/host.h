@@ -4,6 +4,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "check/hook.h"
 #include "sim/node.h"
 #include "sim/port.h"
 
@@ -33,20 +34,34 @@ class Host final : public Node {
   void unbind_flow(FlowId flow) { sinks_.erase(flow); }
 
   /// Transmits a packet out of the NIC.
-  void send(Packet pkt) { uplink_->send(std::move(pkt)); }
+  void send(Packet pkt) {
+    DTDCTCP_CHECK_HOOK(packet_injected(this, pkt));
+    uplink_->send(std::move(pkt));
+  }
 
   /// Delivers to the flow's registered sink; packets for unknown flows
   /// are counted and dropped.
   void receive(Packet pkt) override {
+    if (DTDCTCP_CHECK_INJECT(kLostDelivery)) return;
     auto it = sinks_.find(pkt.flow);
     if (it == sinks_.end()) {
       ++unbound_drops_;
+      DTDCTCP_CHECK_HOOK(packet_unbound(this, pkt));
       return;
     }
+    DTDCTCP_CHECK_HOOK(packet_delivered(this, pkt));
     it->second->deliver(std::move(pkt));
   }
 
   std::uint64_t unbound_drops() const { return unbound_drops_; }
+
+  /// NIC-side totals plus host-level drop classes.
+  Counters counters() const {
+    Counters c;
+    if (uplink_ != nullptr) c = uplink_->counters();
+    c.unbound_dropped = unbound_drops_;
+    return c;
+  }
 
  private:
   std::unique_ptr<Port> uplink_;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "sim/counters.h"
 #include "sim/node.h"
 #include "sim/packet.h"
 #include "sim/queue_disc.h"
@@ -47,6 +48,15 @@ class Port {
 
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Queue-side totals from the discipline plus this port's link-side
+  /// transmission totals.
+  Counters counters() const {
+    Counters c = disc_->counters();
+    c.sent_packets = packets_sent_;
+    c.sent_bytes = bytes_sent_;
+    return c;
+  }
 
  private:
   /// The kernel's typed tx-complete event re-enters here.

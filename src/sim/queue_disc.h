@@ -8,6 +8,8 @@
 #include <functional>
 #include <optional>
 
+#include "check/hook.h"
+#include "sim/counters.h"
 #include "sim/packet.h"
 #include "sim/trace.h"
 
@@ -22,26 +24,71 @@ enum class EnqueueResult { kEnqueued, kDropped };
 /// and `dequeue` when the transmitter frees up; packets that arrive at an
 /// idle empty port bypass the queue (standard output-queued switch
 /// behaviour) after being offered to `on_bypass`.
+///
+/// The public entry points are non-virtual wrappers (template method):
+/// they maintain the exact per-discipline counters and fire the
+/// invariant-check hooks, then delegate to the `do_*` virtuals that
+/// concrete disciplines implement. Disciplines that drop an admitted
+/// packet later (CoDel discarding non-ECT packets at dequeue time) must
+/// route the discard through `discard()` so conservation accounting sees
+/// it.
 class QueueDisc {
  public:
-  virtual ~QueueDisc() = default;
+  virtual ~QueueDisc() { DTDCTCP_CHECK_HOOK(queue_destroyed(this)); }
 
   /// Attempts to admit the packet; may set pkt.ce. Returns kDropped when
   /// the buffer is full (the packet is discarded).
-  virtual EnqueueResult enqueue(Packet& pkt, SimTime now) = 0;
+  EnqueueResult enqueue(Packet& pkt, SimTime now) {
+    ++offered_;
+    DTDCTCP_CHECK_HOOK(queue_offered(this, pkt, now));
+    const EnqueueResult r = do_enqueue(pkt, now);
+    if (r == EnqueueResult::kEnqueued) {
+      ++enqueued_;
+      DTDCTCP_CHECK_HOOK(queue_enqueued(this, pkt, now));
+    } else {
+      DTDCTCP_CHECK_HOOK(queue_rejected(this, pkt, now));
+    }
+    return r;
+  }
 
   /// Removes the head-of-line packet; nullopt when empty.
-  virtual std::optional<Packet> dequeue(SimTime now) = 0;
+  std::optional<Packet> dequeue(SimTime now) {
+    std::optional<Packet> pkt = do_dequeue(now);
+    if (pkt.has_value()) {
+      ++dequeued_;
+      DTDCTCP_CHECK_HOOK(queue_dequeued(this, *pkt, now));
+    }
+    return pkt;
+  }
 
   /// Lets the discipline observe (and possibly mark) a packet that goes
-  /// straight to the wire with an empty queue. Default: no-op.
-  virtual void on_bypass(Packet& pkt, SimTime now) { (void)pkt; (void)now; }
+  /// straight to the wire with an empty queue.
+  void on_bypass(Packet& pkt, SimTime now) {
+    ++offered_;
+    ++bypassed_;
+    const bool ce_before = pkt.ce;
+    (void)ce_before;
+    do_bypass(pkt, now);
+    DTDCTCP_CHECK_HOOK(queue_bypassed(this, pkt, ce_before, now));
+  }
 
   virtual std::size_t packets() const = 0;
   virtual std::size_t bytes() const = 0;
 
   std::uint64_t drops() const { return drops_; }
   std::uint64_t marks() const { return marks_; }
+
+  /// Exact event totals for this discipline (see sim/counters.h).
+  Counters counters() const {
+    Counters c;
+    c.offered = offered_;
+    c.enqueued = enqueued_;
+    c.dequeued = dequeued_;
+    c.bypassed = bypassed_;
+    c.dropped = drops_;
+    c.marked = marks_;
+    return c;
+  }
 
   /// Invoked after every occupancy change with (time, packets, bytes);
   /// used by queue monitors. At most one observer per disc.
@@ -54,8 +101,26 @@ class QueueDisc {
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
  protected:
+  /// Admission decision; may mark the packet. kDropped discards it.
+  virtual EnqueueResult do_enqueue(Packet& pkt, SimTime now) = 0;
+
+  /// Head-of-line removal; nullopt when empty.
+  virtual std::optional<Packet> do_dequeue(SimTime now) = 0;
+
+  /// Observe/mark a packet bypassing the (empty) queue. Default: no-op.
+  virtual void do_bypass(Packet& pkt, SimTime now) { (void)pkt; (void)now; }
+
   void count_drop() { ++drops_; }
   void count_mark() { ++marks_; }
+
+  /// Accounts a packet the discipline removed and dropped after it had
+  /// been admitted (never returned from dequeue). Counts the drop.
+  void discard(const Packet& pkt, SimTime now) {
+    count_drop();
+    trace("drop", pkt, now);
+    DTDCTCP_CHECK_HOOK(queue_discarded(this, pkt, now));
+  }
+
   void notify(SimTime now, std::size_t pkts, std::size_t bytes) {
     if (observer_) observer_(now, pkts, bytes);
   }
@@ -66,6 +131,10 @@ class QueueDisc {
  private:
   std::uint64_t drops_ = 0;
   std::uint64_t marks_ = 0;
+  std::uint64_t offered_ = 0;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t dequeued_ = 0;
+  std::uint64_t bypassed_ = 0;
   std::function<void(SimTime, std::size_t, std::size_t)> observer_;
   TraceSink* trace_ = nullptr;
 };

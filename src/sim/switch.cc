@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "check/hook.h"
 #include "util/log.h"
 
 namespace dtdctcp::sim {
@@ -26,6 +27,7 @@ void Switch::receive(Packet pkt) {
           : nullptr;
   if (group == nullptr) {
     ++unrouted_drops_;
+    DTDCTCP_CHECK_HOOK(packet_unrouted(this, pkt));
     logf(LogLevel::kWarn, "%s: no route for dst %u, dropping",
          name().c_str(), pkt.dst);
     return;

@@ -38,6 +38,14 @@ class Switch final : public Node {
 
   std::uint64_t unrouted_drops() const { return unrouted_drops_; }
 
+  /// Aggregate of all egress ports plus switch-level drop classes.
+  Counters counters() const {
+    Counters c;
+    for (const auto& p : ports_) c += p->counters();
+    c.unrouted_dropped = unrouted_drops_;
+    return c;
+  }
+
   /// The deterministic flow -> member hash used for ECMP (exposed so
   /// tests and traffic generators can predict path assignment).
   static std::size_t ecmp_pick(FlowId flow, std::size_t group_size) {

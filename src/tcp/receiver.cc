@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "check/hook.h"
+
 namespace dtdctcp::tcp {
 
 TcpReceiver::TcpReceiver(sim::Simulator& sim, sim::Host& local,
@@ -15,6 +17,7 @@ TcpReceiver::TcpReceiver(sim::Simulator& sim, sim::Host& local,
 }
 
 TcpReceiver::~TcpReceiver() {
+  DTDCTCP_CHECK_HOOK(tcp_receiver_destroyed(this));
   // Remove any armed delayed-ACK timer so it cannot fire into a
   // destroyed receiver.
   sim_.cancel(delack_timer_);
@@ -30,6 +33,7 @@ void TcpReceiver::handle_data(const sim::Packet& pkt) {
   ++segments_received_;
   bytes_received_ += pkt.size_bytes;
   if (pkt.ce) ++ce_received_;
+  DTDCTCP_CHECK_HOOK(tcp_segment_received(this, pkt));
 
   // Classic ECN (RFC 3168): latch ECE from any CE mark until the sender
   // signals CWR. DCTCP instead echoes per-segment CE state.

@@ -38,6 +38,8 @@ class TcpReceiver final : public sim::PacketSink {
     on_complete_ = std::move(cb);
   }
 
+  sim::FlowId flow() const { return flow_; }
+  const TcpConfig& config() const { return cfg_; }
   std::int64_t next_expected() const { return cum_ack_; }
   std::uint64_t segments_received() const { return segments_received_; }
   std::uint64_t ce_received() const { return ce_received_; }

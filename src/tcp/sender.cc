@@ -5,6 +5,8 @@
 #include <cmath>
 #include <utility>
 
+#include "check/hook.h"
+
 namespace dtdctcp::tcp {
 
 TcpSender::TcpSender(sim::Simulator& sim, sim::Host& local,
@@ -20,6 +22,7 @@ TcpSender::TcpSender(sim::Simulator& sim, sim::Host& local,
 }
 
 TcpSender::~TcpSender() {
+  DTDCTCP_CHECK_HOOK(tcp_sender_destroyed(this));
   sim_.cancel(start_timer_);
   sim_.cancel(pace_timer_);
   cancel_rto();
@@ -50,7 +53,9 @@ void TcpSender::extend(std::int64_t extra) {
 void TcpSender::deliver(sim::Packet pkt) {
   assert(pkt.is_ack && "sender got data; flow ids crossed");
   if (completed_) return;
+  if (DTDCTCP_CHECK_INJECT(kAlphaRange)) alpha_ = 1.5;
   handle_ack(pkt);
+  DTDCTCP_CHECK_HOOK(tcp_sender_state(this));
 }
 
 void TcpSender::handle_ack(const sim::Packet& ack) {
@@ -437,6 +442,7 @@ void TcpSender::on_rto_fired() {
   send_segment(snd_una_, /*retransmit=*/true);
   snd_nxt_ = snd_una_ + 1;
   arm_rto();
+  DTDCTCP_CHECK_HOOK(tcp_sender_state(this));
 }
 
 void TcpSender::set_cwnd(double w) {

@@ -59,6 +59,8 @@ class TcpSender final : public sim::PacketSink {
   void enable_cwnd_trace() { trace_cwnd_ = true; }
 
   // --- observability --------------------------------------------------
+  sim::FlowId flow() const { return flow_; }
+  const TcpConfig& config() const { return cfg_; }
   double cwnd() const { return cwnd_; }
   double ssthresh() const { return ssthresh_; }
   double alpha() const { return alpha_; }

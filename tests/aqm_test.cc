@@ -203,5 +203,75 @@ TEST(Pie, DropsNonEctProbabilistically) {
   EXPECT_GT(q.drops(), 0u);
 }
 
+// --- Edge cases: degenerate buffer capacities ---------------------------
+
+TEST(Codel, ZeroCapacityByteLimitRejectsEveryOffer) {
+  // Byte limit below one packet: every offer bounces, counters exact.
+  queue::CodelQueue q(1000, 0, {});
+  for (int i = 0; i < 4; ++i) {
+    auto p = pkt();
+    EXPECT_EQ(q.enqueue(p, i * 1e-5), sim::EnqueueResult::kDropped);
+  }
+  EXPECT_EQ(q.packets(), 0u);
+  EXPECT_EQ(q.drops(), 4u);
+  EXPECT_FALSE(q.dequeue(1.0).has_value());
+  EXPECT_EQ(q.counters().offered, 4u);
+  EXPECT_EQ(q.counters().enqueued, 0u);
+}
+
+TEST(Codel, SinglePacketBufferStillSignals) {
+  // One-packet buffer: occupancy never exceeds one, but a persistently
+  // slow drain still produces sojourn-time marks.
+  queue::CodelQueue q(0, 1, {50e-6, 500e-6});
+  SimTime t = 0.0;
+  int marked = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto p = pkt();
+    EXPECT_EQ(q.enqueue(p, t), sim::EnqueueResult::kEnqueued);
+    auto rejected = pkt();
+    EXPECT_EQ(q.enqueue(rejected, t), sim::EnqueueResult::kDropped);
+    t += 1e-3;  // sojourn 1 ms >> target
+    auto d = q.dequeue(t);
+    ASSERT_TRUE(d.has_value());
+    if (d->ce) ++marked;
+  }
+  EXPECT_GT(marked, 0);
+  EXPECT_EQ(q.drops(), 40u);
+  EXPECT_EQ(q.counters().dequeued, 40u);
+}
+
+TEST(Codel, NonEctDiscardInDroppingStateCountsAsDrop) {
+  // Internal head discards (non-ECT in the dropping state) must land in
+  // drops() even though the packet was admitted earlier: the enqueued /
+  // dequeued / dropped counters still reconcile with the occupancy.
+  queue::CodelQueue q(0, 0, {50e-6, 500e-6});
+  SimTime t = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    auto p = pkt(/*ect=*/false);
+    q.enqueue(p, t);
+  }
+  int delivered = 0;
+  for (int i = 0; i < 30; ++i) {
+    t += 400e-6;
+    if (q.dequeue(t).has_value()) ++delivered;
+    if (q.packets() == 0) break;
+  }
+  const sim::Counters c = q.counters();
+  EXPECT_GT(c.dropped, 0u);
+  EXPECT_EQ(c.enqueued, 30u);
+  EXPECT_EQ(c.enqueued, c.dequeued + c.dropped + q.packets());
+}
+
+TEST(Pie, SinglePacketBuffer) {
+  queue::PieQueue q(0, 1, {}, units::gbps(1));
+  auto a = pkt();
+  auto b = pkt();
+  EXPECT_EQ(q.enqueue(a, 0.0), sim::EnqueueResult::kEnqueued);
+  EXPECT_EQ(q.enqueue(b, 0.0), sim::EnqueueResult::kDropped);
+  EXPECT_TRUE(q.dequeue(1e-5).has_value());
+  EXPECT_FALSE(q.dequeue(2e-5).has_value());
+  EXPECT_EQ(q.counters().dropped, 1u);
+}
+
 }  // namespace
 }  // namespace dtdctcp

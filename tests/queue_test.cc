@@ -390,5 +390,125 @@ TEST(Red, AverageTracksQueue) {
   EXPECT_LE(q.average(), 20.0);
 }
 
+// --- Edge cases: degenerate capacities and thresholds -------------------
+
+TEST(DropTail, ZeroCapacityByteLimitRejectsEveryOffer) {
+  // A byte limit smaller than any packet: nothing can ever be admitted.
+  queue::DropTailQueue q(100, 0);
+  for (int i = 0; i < 5; ++i) {
+    auto p = data_packet();
+    EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kDropped);
+  }
+  EXPECT_EQ(q.packets(), 0u);
+  EXPECT_EQ(q.bytes(), 0u);
+  EXPECT_EQ(q.drops(), 5u);
+  EXPECT_FALSE(q.dequeue(0.0).has_value());
+  EXPECT_EQ(q.counters().offered, 5u);
+  EXPECT_EQ(q.counters().enqueued, 0u);
+  EXPECT_EQ(q.counters().dropped, 5u);
+}
+
+TEST(DropTail, SinglePacketBuffer) {
+  queue::DropTailQueue q(0, 1);
+  auto p = data_packet();
+  EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kEnqueued);
+  EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kDropped);
+  EXPECT_TRUE(q.dequeue(0.0).has_value());
+  // Space freed: the next offer is admitted again.
+  EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kEnqueued);
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.counters().offered, 3u);
+  EXPECT_EQ(q.counters().enqueued, 2u);
+  EXPECT_EQ(q.counters().dequeued, 1u);
+}
+
+TEST(EcnThreshold, ZeroThresholdMarksEveryEctPacket) {
+  // K = 0: occupancy-before-admit (0) >= K on the very first packet.
+  queue::EcnThresholdQueue q(0, 0, 0.0, queue::ThresholdUnit::kPackets);
+  for (int i = 0; i < 4; ++i) {
+    auto p = data_packet();
+    q.enqueue(p, 0.0);
+    EXPECT_TRUE(p.ce) << i;
+  }
+  auto non_ect = data_packet(1500, /*ect=*/false);
+  q.enqueue(non_ect, 0.0);
+  EXPECT_FALSE(non_ect.ce);
+  EXPECT_EQ(q.marks(), 4u);
+  EXPECT_EQ(q.counters().marked, 4u);
+}
+
+TEST(EcnThreshold, ThresholdAtBufferSizeNeverMarks) {
+  // K equals the packet limit: arrival occupancy tops out at limit - 1
+  // (the queue is full and drops), so the rule can never fire.
+  constexpr std::size_t kLimit = 4;
+  queue::EcnThresholdQueue q(0, kLimit, static_cast<double>(kLimit),
+                             queue::ThresholdUnit::kPackets);
+  for (int i = 0; i < 10; ++i) {
+    auto p = data_packet();
+    q.enqueue(p, 0.0);
+    EXPECT_FALSE(p.ce) << i;
+  }
+  EXPECT_EQ(q.marks(), 0u);
+  EXPECT_EQ(q.packets(), kLimit);
+  EXPECT_EQ(q.drops(), 10u - kLimit);
+}
+
+TEST(EcnHysteresis, EqualThresholdsDrainToStartVariant) {
+  // K1 == K2 == 3 under kDrainToStart: on at >= 3 rising, and marking
+  // stops only when the queue drains back under K1.
+  queue::EcnHysteresisQueue q(0, 0, 3.0, 3.0, queue::ThresholdUnit::kPackets,
+                              queue::HysteresisVariant::kDrainToStart);
+  auto p = data_packet();
+  q.enqueue(p, 0.0);
+  q.enqueue(p, 0.0);
+  EXPECT_FALSE(q.marking());
+  q.enqueue(p, 0.0);
+  EXPECT_TRUE(q.marking());
+  q.dequeue(0.0);  // occupancy 2 < K1: off
+  EXPECT_FALSE(q.marking());
+  q.enqueue(p, 0.0);  // back to 3: on again
+  EXPECT_TRUE(q.marking());
+}
+
+TEST(EcnHysteresis, EqualThresholdsHalfBandVariant) {
+  // K1 == K2 collapses the 50% band to nothing: the half-band variant
+  // degenerates to a pure relay marking every ECT packet admitted at
+  // occupancy >= K and none below.
+  queue::EcnHysteresisQueue q(0, 0, 3.0, 3.0, queue::ThresholdUnit::kPackets,
+                              queue::HysteresisVariant::kHalfBand);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    auto p1 = data_packet();
+    auto p2 = data_packet();
+    auto p3 = data_packet();
+    q.enqueue(p1, 0.0);  // occupancy 1 after admit
+    q.enqueue(p2, 0.0);  // 2
+    q.enqueue(p3, 0.0);  // 3 == K: marked
+    EXPECT_FALSE(p1.ce) << cycle;
+    EXPECT_FALSE(p2.ce) << cycle;
+    EXPECT_TRUE(p3.ce) << cycle;
+    q.dequeue(0.0);
+    q.dequeue(0.0);
+    q.dequeue(0.0);
+    EXPECT_EQ(q.packets(), 0u);
+  }
+  EXPECT_EQ(q.marks(), 3u);
+}
+
+TEST(QueueDisc, CountersTrackEveryEvent) {
+  queue::EcnThresholdQueue q(0, 2, 1.0, queue::ThresholdUnit::kPackets);
+  auto p = data_packet();
+  q.enqueue(p, 0.0);  // admitted, no mark (occupancy 0 < 1)
+  q.enqueue(p, 0.0);  // admitted, marked
+  q.enqueue(p, 0.0);  // dropped (limit 2)
+  q.dequeue(0.0);
+  const sim::Counters c = q.counters();
+  EXPECT_EQ(c.offered, 3u);
+  EXPECT_EQ(c.enqueued, 2u);
+  EXPECT_EQ(c.dequeued, 1u);
+  EXPECT_EQ(c.dropped, 1u);
+  EXPECT_EQ(c.marked, 1u);
+  EXPECT_EQ(c.bypassed, 0u);
+}
+
 }  // namespace
 }  // namespace dtdctcp

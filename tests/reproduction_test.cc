@@ -4,12 +4,28 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "analysis/nyquist.h"
+#include "check/checker.h"
 #include "core/dtdctcp.h"
 
 namespace dtdctcp {
 namespace {
+
+// With DTDCTCP_CHECK=1 in the environment (the Debug CI leg), every
+// test in this binary runs under the invariant checker; any violation
+// aborts with a report. Without it the scope is inert.
+class InvariantCheckEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { scope_ = std::make_unique<check::CheckScope>(); }
+  void TearDown() override { scope_.reset(); }
+
+ private:
+  std::unique_ptr<check::CheckScope> scope_;
+};
+[[maybe_unused]] const auto* const kInvariantCheckEnv =
+    ::testing::AddGlobalTestEnvironment(new InvariantCheckEnv);
 
 core::DumbbellConfig sweep_cfg(std::size_t flows, bool dt) {
   core::DumbbellConfig cfg;

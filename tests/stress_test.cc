@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/checker.h"
 #include "queue/factory.h"
 #include "sim/network.h"
 #include "tcp/connection.h"
@@ -13,6 +14,20 @@
 
 namespace dtdctcp {
 namespace {
+
+// With DTDCTCP_CHECK=1 in the environment (the Debug CI leg), every
+// test in this binary runs under the invariant checker; any violation
+// aborts with a report. Without it the scope is inert.
+class InvariantCheckEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { scope_ = std::make_unique<check::CheckScope>(); }
+  void TearDown() override { scope_.reset(); }
+
+ private:
+  std::unique_ptr<check::CheckScope> scope_;
+};
+[[maybe_unused]] const auto* const kInvariantCheckEnv =
+    ::testing::AddGlobalTestEnvironment(new InvariantCheckEnv);
 
 struct RandomWorld {
   sim::Network net;
