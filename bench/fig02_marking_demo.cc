@@ -29,7 +29,8 @@ void drive(Queue& q, const char* name, int peak) {
     q.enqueue(a, 0.0);
     sim::Packet b = a;
     q.enqueue(b, 0.0);
-    q.dequeue(0.0);
+    sim::Packet out;
+    q.dequeue(out, 0.0);
     if (b.ce) {
       if (first_mark_up < 0) first_mark_up = static_cast<int>(q.packets());
       last_mark_up = static_cast<int>(q.packets());
@@ -42,8 +43,9 @@ void drive(Queue& q, const char* name, int peak) {
     a.ect = true;
     q.enqueue(a, 0.0);
     const bool marked = a.ce;
-    q.dequeue(0.0);
-    q.dequeue(0.0);
+    sim::Packet out;
+    q.dequeue(out, 0.0);
+    q.dequeue(out, 0.0);
     if (marked) {
       if (first_mark_down < 0) first_mark_down = static_cast<int>(q.packets()) + 2;
       last_mark_down = static_cast<int>(q.packets()) + 2;

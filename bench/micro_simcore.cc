@@ -81,9 +81,10 @@ void BM_DropTailEnqueueDequeue(benchmark::State& state) {
   queue::DropTailQueue q(0, 0);
   sim::Packet p;
   p.size_bytes = 1500;
+  sim::Packet out;
   for (auto _ : state) {
     q.enqueue(p, 0.0);
-    benchmark::DoNotOptimize(q.dequeue(0.0));
+    benchmark::DoNotOptimize(q.dequeue(out, 0.0));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -94,9 +95,10 @@ void BM_EcnThresholdEnqueueDequeue(benchmark::State& state) {
   sim::Packet p;
   p.size_bytes = 1500;
   p.ect = true;
+  sim::Packet out;
   for (auto _ : state) {
     q.enqueue(p, 0.0);
-    benchmark::DoNotOptimize(q.dequeue(0.0));
+    benchmark::DoNotOptimize(q.dequeue(out, 0.0));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -108,9 +110,10 @@ void BM_EcnHysteresisEnqueueDequeue(benchmark::State& state) {
   sim::Packet p;
   p.size_bytes = 1500;
   p.ect = true;
+  sim::Packet out;
   for (auto _ : state) {
     q.enqueue(p, 0.0);
-    benchmark::DoNotOptimize(q.dequeue(0.0));
+    benchmark::DoNotOptimize(q.dequeue(out, 0.0));
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -10,14 +10,19 @@
 // non-ECT packets are dropped and the next packet is examined. The
 // default constants are scaled for datacenter RTTs (the WAN defaults
 // are 5 ms / 100 ms).
+//
+// The admission timestamp each packet's sojourn is measured from is
+// queue-local state, not a protocol field, so it rides next to the
+// packet in this discipline's ring buffer rather than inflating
+// sim::Packet for every other queue in the network.
 #pragma once
 
 #include <cmath>
 #include <cstddef>
-#include <deque>
-#include <optional>
+#include <utility>
 
 #include "sim/queue_disc.h"
+#include "util/ring_buffer.h"
 
 namespace dtdctcp::queue {
 
@@ -43,17 +48,17 @@ class CodelQueue final : public sim::QueueDisc {
       count_drop();
       return sim::EnqueueResult::kDropped;
     }
-    pkt.enqueue_ts = now;
-    q_.push_back(pkt);
+    q_.push_back(Stamped{pkt, now});
     bytes_ += pkt.size_bytes;
     notify(now, q_.size(), bytes_);
     return sim::EnqueueResult::kEnqueued;
   }
 
-  std::optional<sim::Packet> do_dequeue(SimTime now) override {
+  bool do_dequeue(sim::Packet& out, SimTime now) override {
     while (!q_.empty()) {
-      sim::Packet pkt = pop(now);
-      const SimTime sojourn = now - pkt.enqueue_ts;
+      const SimTime enq = q_.front().enqueue_ts;
+      pop(out, now);
+      const SimTime sojourn = now - enq;
 
       if (!dropping_) {
         if (should_signal(sojourn, now)) {
@@ -64,34 +69,40 @@ class CodelQueue final : public sim::QueueDisc {
                        ? count_ - 2
                        : 1;
           drop_next_ = control_law(now);
-          if (!signal(pkt, now)) continue;  // dropped: examine the next
+          if (!signal(out, now)) continue;  // dropped: examine the next
         }
-        return pkt;
+        return true;
       }
 
       // Dropping state.
       if (sojourn < cfg_.target || q_.empty()) {
         dropping_ = false;
-        return pkt;
+        return true;
       }
       if (now >= drop_next_) {
         ++count_;
         drop_next_ = control_law(now);
-        if (!signal(pkt, now)) continue;
+        if (!signal(out, now)) continue;
       }
-      return pkt;
+      return true;
     }
     first_above_ = 0.0;
-    return std::nullopt;
+    return false;
   }
 
  private:
-  sim::Packet pop(SimTime now) {
-    sim::Packet pkt = q_.front();
+  /// A queued packet plus the admission time its sojourn is measured
+  /// from (CoDel-local; see the header comment).
+  struct Stamped {
+    sim::Packet pkt;
+    SimTime enqueue_ts;
+  };
+
+  void pop(sim::Packet& out, SimTime now) {
+    out = q_.front().pkt;
     q_.pop_front();
-    bytes_ -= pkt.size_bytes;
+    bytes_ -= out.size_bytes;
     notify(now, q_.size(), bytes_);
-    return pkt;
   }
 
   /// True once sojourn has stayed above target for a full interval.
@@ -128,7 +139,7 @@ class CodelQueue final : public sim::QueueDisc {
   std::size_t limit_bytes_;
   std::size_t limit_packets_;
   CodelConfig cfg_;
-  std::deque<sim::Packet> q_;
+  util::RingBuffer<Stamped> q_;
   std::size_t bytes_ = 0;
 
   // Control-law state.

@@ -61,7 +61,8 @@ class EcnHysteresisQueue final : public FifoBase {
   bool marking() const { return marking_; }
 
  protected:
-  void after_admit(sim::Packet& pkt, SimTime now) override {
+  // `final` so the DT-DCTCP hot path devirtualizes (see ecn_threshold.h).
+  void after_admit(sim::Packet& pkt, SimTime now) final {
     (void)now;
     if (!pkt.ect) return;
     if (variant_ == HysteresisVariant::kHalfBand) {
@@ -84,7 +85,7 @@ class EcnHysteresisQueue final : public FifoBase {
     }
   }
 
-  void on_occupancy_change(SimTime now, bool grew) override {
+  void on_occupancy_change(SimTime now, bool grew) final {
     (void)now;
     (void)grew;
     if (variant_ == HysteresisVariant::kHalfBand) return;  // stateless

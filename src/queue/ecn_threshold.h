@@ -30,7 +30,10 @@ class EcnThresholdQueue final : public FifoBase {
   MarkPoint mark_point() const { return mark_point_; }
 
  protected:
-  bool before_admit(sim::Packet& pkt, SimTime now) override {
+  // `final` so the common DCTCP switch configuration devirtualizes:
+  // FifoBase's do_enqueue/do_dequeue calls into these resolve statically
+  // once the concrete type is known.
+  bool before_admit(sim::Packet& pkt, SimTime now) final {
     (void)now;
     if (mark_point_ == MarkPoint::kArrival && pkt.ect &&
         occupancy(unit_) >= k_) {
@@ -40,7 +43,7 @@ class EcnThresholdQueue final : public FifoBase {
     return true;
   }
 
-  void after_dequeue(sim::Packet& pkt, SimTime now) override {
+  void after_dequeue(sim::Packet& pkt, SimTime now) final {
     (void)now;
     if (mark_point_ == MarkPoint::kDequeue && pkt.ect &&
         occupancy(unit_) >= k_) {

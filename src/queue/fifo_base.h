@@ -4,15 +4,19 @@
 // occupancy hook (to run marking state machines). Thresholds can be
 // expressed in packets (the paper's simulations: K = 40 packets) or in
 // bytes (the paper's testbed: K = 32 KB), selected by ThresholdUnit.
+//
+// The backing store is a power-of-two ring buffer (util/ring_buffer.h):
+// one contiguous allocation, mask-indexed, growing only when a new
+// occupancy high-water mark is reached — the steady-state enqueue/
+// dequeue cycle of a packet queue touches no allocator at all.
 #pragma once
 
 #include <cstddef>
-#include <deque>
-#include <optional>
 #include <utility>
 
 #include "sim/queue_disc.h"
 #include "sim/shared_buffer.h"
+#include "util/ring_buffer.h"
 
 namespace dtdctcp::queue {
 
@@ -74,22 +78,22 @@ class FifoBase : public sim::QueueDisc {
     return sim::EnqueueResult::kEnqueued;
   }
 
-  std::optional<sim::Packet> do_dequeue(SimTime now) final {
-    if (q_.empty()) return std::nullopt;
+  bool do_dequeue(sim::Packet& out, SimTime now) final {
+    if (q_.empty()) return false;
     if (q_.size() >= 2 && DTDCTCP_CHECK_INJECT(kFifoSwap)) {
       std::swap(q_[0], q_[1]);
     }
-    sim::Packet pkt = q_.front();
+    out = q_.front();
     q_.pop_front();
-    bytes_ -= pkt.size_bytes;
-    if (pool_ != nullptr) pool_->release(pkt.size_bytes);
-    const bool ce_before = pkt.ce;
+    bytes_ -= out.size_bytes;
+    if (pool_ != nullptr) pool_->release(out.size_bytes);
+    const bool ce_before = out.ce;
     on_occupancy_change(now, /*grew=*/false);
-    after_dequeue(pkt, now);  // may mark (dequeue-marking disciplines)
-    if (!ce_before && pkt.ce) trace("mark", pkt, now);
-    trace("deq", pkt, now);
+    after_dequeue(out, now);  // may mark (dequeue-marking disciplines)
+    if (!ce_before && out.ce) trace("mark", out, now);
+    trace("deq", out, now);
     notify(now, q_.size(), bytes_);
-    return pkt;
+    return true;
   }
 
   /// Called with the packet before it joins the queue; occupancy
@@ -139,7 +143,7 @@ class FifoBase : public sim::QueueDisc {
   std::size_t limit_bytes_;
   std::size_t limit_packets_;
   sim::SharedBufferPool* pool_ = nullptr;
-  std::deque<sim::Packet> q_;
+  util::RingBuffer<sim::Packet> q_;
   std::size_t bytes_ = 0;
 };
 

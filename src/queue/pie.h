@@ -36,7 +36,7 @@ class PieQueue final : public FifoBase {
   SimTime estimated_delay() const { return last_delay_; }
 
  protected:
-  bool before_admit(sim::Packet& pkt, SimTime now) override {
+  bool before_admit(sim::Packet& pkt, SimTime now) final {
     maybe_update(now);
     if (p_ <= 0.0) return true;
     if (!rng_.bernoulli(std::min(p_, 1.0))) return true;
@@ -48,7 +48,7 @@ class PieQueue final : public FifoBase {
     return false;  // early drop
   }
 
-  void do_bypass(sim::Packet& pkt, SimTime now) override {
+  void do_bypass(sim::Packet& pkt, SimTime now) final {
     // PIE's probability applies to every arrival, including one that
     // finds the transmitter idle (the controller's p decays slowly, so
     // skipping bypass packets would under-signal at light load).

@@ -32,7 +32,7 @@ class RedQueue final : public FifoBase {
   double average() const { return avg_; }
 
  protected:
-  bool before_admit(sim::Packet& pkt, SimTime now) override {
+  bool before_admit(sim::Packet& pkt, SimTime now) final {
     update_average(now);
     const double p = mark_probability();
     if (p <= 0.0) {
@@ -56,7 +56,7 @@ class RedQueue final : public FifoBase {
     return true;
   }
 
-  void on_occupancy_change(SimTime now, bool grew) override {
+  void on_occupancy_change(SimTime now, bool grew) final {
     (void)grew;
     if (packets() == 0) idle_since_ = now;
   }

@@ -4,6 +4,16 @@
 // payload, only the header fields the protocols under study need. ECN
 // bits follow RFC 3168 naming: ECT (capable), CE (congestion experienced,
 // set by switches), ECE (echo, carried on ACKs), CWR (window reduced).
+//
+// The struct is packed to one cache line (<= 64 bytes, enforced below):
+// the event kernel stores packets inline in its queue slots and the ring
+// buffers move them by value, so every byte here is copied on every hop.
+// The protocol flags are single-bit fields sharing one byte, and the
+// SACK option stores 32-bit offsets relative to the cumulative ACK
+// instead of absolute 64-bit segment indices (blocks always sit above
+// the cumulative ACK, so the offsets are small and non-negative); use
+// `sack_begin`/`sack_end`/`add_sack_block` rather than touching the raw
+// blocks.
 #pragma once
 
 #include <cstdint>
@@ -18,43 +28,71 @@ using FlowId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = 0xffffffffu;
 
 struct Packet {
-  std::uint64_t uid = 0;     ///< globally unique, assigned at creation
-  FlowId flow = 0;           ///< demultiplexing key at the hosts
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
-  std::uint32_t size_bytes = 0;  ///< size on the wire
+  std::uint64_t uid = 0;  ///< globally unique, assigned at creation
 
-  std::int64_t seq = 0;   ///< data: first segment index; ACK: cumulative ack
-  bool is_ack = false;
-
-  bool ect = false;  ///< ECN-capable transport
-  bool ce = false;   ///< congestion experienced (marked by a switch)
-  bool ece = false;  ///< ECN echo (on ACKs)
-  bool cwr = false;  ///< congestion window reduced (data, classic ECN)
+  std::int64_t seq = 0;  ///< data: first segment index; ACK: cumulative ack
 
   /// Departure timestamp of the data segment this packet (or the ACK
   /// covering it) corresponds to; echoed by the receiver so the sender
   /// can take unambiguous RTT samples (Karn-free timing).
   SimTime ts_echo = 0.0;
 
-  /// Stamped by the queue discipline on admission; sojourn-time AQMs
-  /// (CoDel, PIE) read it at dequeue. Not a protocol field.
-  SimTime enqueue_ts = 0.0;
-
-  /// True if this data segment is a retransmission (RTT samples from the
-  /// matching ACK are discarded, Karn's rule).
-  bool retransmit = false;
+  FlowId flow = 0;  ///< demultiplexing key at the hosts
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
 
   /// SACK option (on ACKs when the receiver enables it): up to three
   /// half-open segment ranges [begin, end) received above the
   /// cumulative ACK, most relevant block first (RFC 2018 layout).
+  /// Stored as offsets from `seq` (the cumulative ACK).
   struct SackBlock {
-    std::int64_t begin = 0;
-    std::int64_t end = 0;
+    std::uint32_t begin = 0;  ///< first segment, as offset above `seq`
+    std::uint32_t end = 0;    ///< one past the last, as offset above `seq`
   };
   static constexpr int kMaxSackBlocks = 3;
   SackBlock sack[kMaxSackBlocks] = {};
+
+  std::uint16_t size_bytes = 0;  ///< size on the wire (wire MTUs fit 16 bits)
   std::uint8_t sack_count = 0;
+
+  // Protocol flags, one bit each (folded so the struct stays within a
+  // cache line). Reads and writes look exactly like the plain bools
+  // they replaced.
+  bool is_ack : 1 = false;
+  bool ect : 1 = false;  ///< ECN-capable transport
+  bool ce : 1 = false;   ///< congestion experienced (marked by a switch)
+  bool ece : 1 = false;  ///< ECN echo (on ACKs)
+  bool cwr : 1 = false;  ///< congestion window reduced (data, classic ECN)
+  /// True if this data segment is a retransmission (RTT samples from the
+  /// matching ACK are discarded, Karn's rule).
+  bool retransmit : 1 = false;
+
+  /// Absolute segment index of SACK block `i`'s first segment.
+  std::int64_t sack_begin(int i) const {
+    return seq + static_cast<std::int64_t>(sack[i].begin);
+  }
+  /// Absolute segment index one past SACK block `i`'s last segment.
+  std::int64_t sack_end(int i) const {
+    return seq + static_cast<std::int64_t>(sack[i].end);
+  }
+
+  /// Appends [begin, end) (absolute segment indices, above the
+  /// cumulative ack `seq`) unless the option is full or the block is
+  /// already present.
+  void add_sack_block(std::int64_t begin, std::int64_t end) {
+    if (sack_count >= kMaxSackBlocks) return;
+    const SackBlock b{static_cast<std::uint32_t>(begin - seq),
+                      static_cast<std::uint32_t>(end - seq)};
+    for (int i = 0; i < sack_count; ++i) {
+      if (sack[i].begin == b.begin && sack[i].end == b.end) return;
+    }
+    sack[sack_count] = b;
+    ++sack_count;
+  }
 };
+
+static_assert(sizeof(Packet) <= 64,
+              "Packet must fit one cache line: the event kernel embeds it "
+              "in queue slots and the FIFOs copy it on every hop");
 
 }  // namespace dtdctcp::sim

@@ -15,9 +15,11 @@ void Port::send(Packet pkt) {
   if (disc_->enqueue(pkt, sim_.now()) == EnqueueResult::kEnqueued && !busy_) {
     // Transmitter idle but queue was non-empty (can happen transiently
     // when a drop callback re-enters send); drain in FIFO order.
-    auto head = disc_->dequeue(sim_.now());
-    assert(head.has_value());
-    begin_transmission(std::move(*head));
+    Packet head;
+    const bool got = disc_->dequeue(head, sim_.now());
+    assert(got);
+    (void)got;
+    begin_transmission(std::move(head));
   }
 }
 
@@ -37,8 +39,9 @@ void Port::begin_transmission(Packet pkt) {
 
 void Port::on_transmit_complete() {
   busy_ = false;
-  if (auto next = disc_->dequeue(sim_.now())) {
-    begin_transmission(std::move(*next));
+  Packet next;
+  if (disc_->dequeue(next, sim_.now())) {
+    begin_transmission(std::move(next));
   }
 }
 

@@ -5,8 +5,6 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
-#include <optional>
 
 #include "check/hook.h"
 #include "sim/counters.h"
@@ -16,6 +14,18 @@
 namespace dtdctcp::sim {
 
 enum class EnqueueResult { kEnqueued, kDropped };
+
+/// Receives every occupancy change of a queue discipline (enqueues grew
+/// it, dequeues shrank it). A plain interface rather than a
+/// std::function so the per-packet notification is one predictable
+/// virtual call through a pointer the disc holds directly — no
+/// type-erased storage, no capture allocation.
+class QueueObserver {
+ public:
+  virtual ~QueueObserver() = default;
+  virtual void on_queue_change(SimTime now, std::size_t pkts,
+                               std::size_t bytes) = 0;
+};
 
 /// FIFO buffer with a pluggable admission/marking policy.
 ///
@@ -51,14 +61,15 @@ class QueueDisc {
     return r;
   }
 
-  /// Removes the head-of-line packet; nullopt when empty.
-  std::optional<Packet> dequeue(SimTime now) {
-    std::optional<Packet> pkt = do_dequeue(now);
-    if (pkt.has_value()) {
-      ++dequeued_;
-      DTDCTCP_CHECK_HOOK(queue_dequeued(this, *pkt, now));
-    }
-    return pkt;
+  /// Moves the head-of-line packet into `out`; returns false (leaving
+  /// `out` untouched) when the queue is empty. The move-out signature
+  /// means a dequeued packet is copied exactly once, from the buffer
+  /// into the caller's slot.
+  bool dequeue(Packet& out, SimTime now) {
+    if (!do_dequeue(out, now)) return false;
+    ++dequeued_;
+    DTDCTCP_CHECK_HOOK(queue_dequeued(this, out, now));
+    return true;
   }
 
   /// Lets the discipline observe (and possibly mark) a packet that goes
@@ -67,8 +78,10 @@ class QueueDisc {
     ++offered_;
     ++bypassed_;
     const bool ce_before = pkt.ce;
-    (void)ce_before;
     do_bypass(pkt, now);
+    // Bypass marking (PIE's arrival probability, for one) must reach
+    // tracers exactly like queue-path marking does.
+    if (!ce_before && pkt.ce) trace("mark", pkt, now);
     DTDCTCP_CHECK_HOOK(queue_bypassed(this, pkt, ce_before, now));
   }
 
@@ -91,10 +104,9 @@ class QueueDisc {
   }
 
   /// Invoked after every occupancy change with (time, packets, bytes);
-  /// used by queue monitors. At most one observer per disc.
-  void set_observer(std::function<void(SimTime, std::size_t, std::size_t)> cb) {
-    observer_ = std::move(cb);
-  }
+  /// used by queue monitors. At most one observer per disc; null
+  /// detaches. The observer must outlive the discipline's activity.
+  void set_observer(QueueObserver* observer) { observer_ = observer; }
 
   /// Attaches a per-packet event tracer (enq/deq/drop/mark). Null
   /// detaches; the sink must outlive the discipline's activity.
@@ -104,8 +116,8 @@ class QueueDisc {
   /// Admission decision; may mark the packet. kDropped discards it.
   virtual EnqueueResult do_enqueue(Packet& pkt, SimTime now) = 0;
 
-  /// Head-of-line removal; nullopt when empty.
-  virtual std::optional<Packet> do_dequeue(SimTime now) = 0;
+  /// Head-of-line removal into `out`; false when empty.
+  virtual bool do_dequeue(Packet& out, SimTime now) = 0;
 
   /// Observe/mark a packet bypassing the (empty) queue. Default: no-op.
   virtual void do_bypass(Packet& pkt, SimTime now) { (void)pkt; (void)now; }
@@ -122,7 +134,7 @@ class QueueDisc {
   }
 
   void notify(SimTime now, std::size_t pkts, std::size_t bytes) {
-    if (observer_) observer_(now, pkts, bytes);
+    if (observer_ != nullptr) observer_->on_queue_change(now, pkts, bytes);
   }
   void trace(const char* event, const Packet& pkt, SimTime now) {
     if (trace_ != nullptr) trace_->packet_event(event, pkt, now);
@@ -135,7 +147,7 @@ class QueueDisc {
   std::uint64_t enqueued_ = 0;
   std::uint64_t dequeued_ = 0;
   std::uint64_t bypassed_ = 0;
-  std::function<void(SimTime, std::size_t, std::size_t)> observer_;
+  QueueObserver* observer_ = nullptr;
   TraceSink* trace_ = nullptr;
 };
 

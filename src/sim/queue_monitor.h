@@ -12,15 +12,15 @@
 
 namespace dtdctcp::sim {
 
-class QueueMonitor {
+class QueueMonitor final : public QueueObserver {
  public:
   /// Subscribes to the discipline's occupancy changes. `trace` enables
-  /// per-event sample recording (memory-heavy on fast links).
+  /// per-event sample recording (memory-heavy on fast links). The
+  /// monitor must outlive the discipline's activity (or be detached via
+  /// `disc.set_observer(nullptr)`).
   void attach(QueueDisc& disc, bool trace = false) {
     trace_enabled_ = trace;
-    disc.set_observer([this](SimTime t, std::size_t pkts, std::size_t bytes) {
-      on_change(t, pkts, bytes);
-    });
+    disc.set_observer(this);
   }
 
   /// Restarts the statistics window at time `t` (end of warmup).
@@ -41,8 +41,8 @@ class QueueMonitor {
   const stats::TimeWeighted& bytes() const { return byte_stats_; }
   const stats::TimeSeries& trace() const { return trace_; }
 
- private:
-  void on_change(SimTime t, std::size_t pkts, std::size_t bytes) {
+  void on_queue_change(SimTime t, std::size_t pkts,
+                       std::size_t bytes) override {
     last_pkts_ = static_cast<double>(pkts);
     last_bytes_ = static_cast<double>(bytes);
     pkt_stats_.update(t, last_pkts_);
@@ -50,6 +50,7 @@ class QueueMonitor {
     if (trace_enabled_) trace_.add(t, last_pkts_);
   }
 
+ private:
   bool trace_enabled_ = false;
   double last_pkts_ = 0.0;
   double last_bytes_ = 0.0;

@@ -15,7 +15,7 @@
 
 #include <cstdint>
 #include <ostream>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/packet.h"
@@ -47,11 +47,13 @@ class TextTracer final : public TraceSink {
   std::ostream& out_;
 };
 
-/// Records events in memory; the tests' tracer.
+/// Records events in memory; the tests' tracer. Event kinds are kept as
+/// views of the emitters' string literals (static storage), so recording
+/// never allocates per event — cheap enough to leave on in stress tests.
 class RecordingTracer final : public TraceSink {
  public:
   struct Event {
-    std::string kind;
+    std::string_view kind;  ///< views a static-storage literal
     FlowId flow;
     std::int64_t seq;
     SimTime time;
@@ -63,7 +65,7 @@ class RecordingTracer final : public TraceSink {
     events.push_back({event, pkt.flow, pkt.seq, now, pkt.ce});
   }
 
-  std::size_t count(const std::string& kind) const {
+  std::size_t count(std::string_view kind) const {
     std::size_t n = 0;
     for (const auto& e : events) {
       if (e.kind == kind) ++n;

@@ -33,12 +33,20 @@ class TimeSeries {
   }
 
   /// Evenly thins the series to at most `max_points` samples, keeping the
-  /// first and last. Used when printing long traces.
+  /// first and last (just the first when max_points is 1). Used when
+  /// printing long traces.
   TimeSeries downsample(std::size_t max_points) const {
     TimeSeries out;
     if (samples_.empty() || max_points == 0) return out;
     if (samples_.size() <= max_points) {
       out.samples_ = samples_;
+      return out;
+    }
+    if (max_points == 1) {
+      // The stride below divides by max_points - 1; with one point that
+      // is 1/0 -> inf, inf*0 + 0.5 -> NaN, and a NaN-to-size_t cast is
+      // undefined. One point means the first sample.
+      out.samples_.push_back(samples_.front());
       return out;
     }
     const double stride = static_cast<double>(samples_.size() - 1) /

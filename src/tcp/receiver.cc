@@ -126,23 +126,15 @@ void TcpReceiver::attach_sack_blocks(sim::Packet& ack,
   }
   if (runs.empty()) return;
 
-  auto add_block = [&ack](const Run& r) {
-    if (ack.sack_count >= sim::Packet::kMaxSackBlocks) return;
-    for (int i = 0; i < ack.sack_count; ++i) {
-      if (ack.sack[i].begin == r.begin && ack.sack[i].end == r.end) return;
-    }
-    ack.sack[ack.sack_count].begin = r.begin;
-    ack.sack[ack.sack_count].end = r.end;
-    ++ack.sack_count;
-  };
-
   for (const Run& r : runs) {
     if (trigger_seq >= r.begin && trigger_seq < r.end) {
-      add_block(r);
+      ack.add_sack_block(r.begin, r.end);
       break;
     }
   }
-  for (auto it = runs.rbegin(); it != runs.rend(); ++it) add_block(*it);
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    ack.add_sack_block(it->begin, it->end);
+  }
 }
 
 void TcpReceiver::flush_delayed(const sim::Packet& trigger,

@@ -170,9 +170,9 @@ void TcpSender::enter_fast_recovery(const sim::Packet& ack) {
 
 void TcpSender::sack_update(const sim::Packet& ack) {
   for (int i = 0; i < ack.sack_count; ++i) {
-    const auto& block = ack.sack[i];
-    for (std::int64_t seq = std::max(block.begin, snd_una_);
-         seq < block.end; ++seq) {
+    const std::int64_t end = ack.sack_end(i);
+    for (std::int64_t seq = std::max(ack.sack_begin(i), snd_una_); seq < end;
+         ++seq) {
       sacked_.insert(seq);
     }
   }

@@ -10,6 +10,8 @@
 #include "sim/network.h"
 #include "tcp/connection.h"
 
+#include "queue_test_util.h"
+
 namespace dtdctcp {
 namespace {
 
@@ -28,7 +30,7 @@ TEST(Codel, NoSignalBelowTargetSojourn) {
   for (int i = 0; i < 100; ++i) {
     auto p = pkt();
     q.enqueue(p, i * 1e-5);
-    auto d = q.dequeue(i * 1e-5 + 1e-6);
+    auto d = deq(q, i * 1e-5 + 1e-6);
     ASSERT_TRUE(d.has_value());
     EXPECT_FALSE(d->ce);
   }
@@ -48,7 +50,7 @@ TEST(Codel, PersistentSojournAboveTargetStartsMarking) {
   int marked = 0;
   for (int i = 0; i < 50; ++i) {
     t += 200e-6;
-    auto d = q.dequeue(t);
+    auto d = deq(q, t);
     ASSERT_TRUE(d.has_value());
     if (d->ce) ++marked;
   }
@@ -69,7 +71,7 @@ TEST(Codel, SignalRateEscalatesWithCount) {
   int second_half = 0;
   for (int i = 0; i < 400; ++i) {
     t += 100e-6;
-    auto d = q.dequeue(t);
+    auto d = deq(q, t);
     ASSERT_TRUE(d.has_value());
     if (d->ce) (i < 200 ? first_half : second_half) += 1;
   }
@@ -86,7 +88,7 @@ TEST(Codel, DropsNonEctInsteadOfMarking) {
   std::size_t delivered = 0;
   for (int i = 0; i < 50; ++i) {
     t += 200e-6;
-    if (q.dequeue(t).has_value()) ++delivered;
+    if (deq(q, t).has_value()) ++delivered;
     if (q.packets() == 0) break;
   }
   EXPECT_GT(q.drops(), 0u);
@@ -102,13 +104,13 @@ TEST(Codel, ExitsDroppingWhenQueueDrains) {
   }
   for (int i = 0; i < 30; ++i) {
     t += 200e-6;
-    q.dequeue(t);
+    deq(q, t);
   }
   EXPECT_EQ(q.packets(), 0u);
   // Fresh traffic with tiny sojourn is clean again.
   auto p = pkt();
   q.enqueue(p, t);
-  auto d = q.dequeue(t + 1e-6);
+  auto d = deq(q, t + 1e-6);
   ASSERT_TRUE(d.has_value());
   EXPECT_FALSE(d->ce);
 }
@@ -179,14 +181,14 @@ TEST(Pie, ProbabilityDecaysAfterDrain) {
     t += 50e-6;
   }
   const double p_high = q.probability();
-  while (q.dequeue(t).has_value()) {
+  while (deq(q, t).has_value()) {
   }
   // Trigger updates with occasional light traffic.
   for (int i = 0; i < 100; ++i) {
     t += 200e-6;
     auto p = pkt();
     q.enqueue(p, t);
-    q.dequeue(t + 1e-6);
+    deq(q, t + 1e-6);
   }
   EXPECT_LT(q.probability(), p_high);
 }
@@ -214,7 +216,7 @@ TEST(Codel, ZeroCapacityByteLimitRejectsEveryOffer) {
   }
   EXPECT_EQ(q.packets(), 0u);
   EXPECT_EQ(q.drops(), 4u);
-  EXPECT_FALSE(q.dequeue(1.0).has_value());
+  EXPECT_FALSE(deq(q, 1.0).has_value());
   EXPECT_EQ(q.counters().offered, 4u);
   EXPECT_EQ(q.counters().enqueued, 0u);
 }
@@ -231,7 +233,7 @@ TEST(Codel, SinglePacketBufferStillSignals) {
     auto rejected = pkt();
     EXPECT_EQ(q.enqueue(rejected, t), sim::EnqueueResult::kDropped);
     t += 1e-3;  // sojourn 1 ms >> target
-    auto d = q.dequeue(t);
+    auto d = deq(q, t);
     ASSERT_TRUE(d.has_value());
     if (d->ce) ++marked;
   }
@@ -253,7 +255,7 @@ TEST(Codel, NonEctDiscardInDroppingStateCountsAsDrop) {
   int delivered = 0;
   for (int i = 0; i < 30; ++i) {
     t += 400e-6;
-    if (q.dequeue(t).has_value()) ++delivered;
+    if (deq(q, t).has_value()) ++delivered;
     if (q.packets() == 0) break;
   }
   const sim::Counters c = q.counters();
@@ -268,8 +270,8 @@ TEST(Pie, SinglePacketBuffer) {
   auto b = pkt();
   EXPECT_EQ(q.enqueue(a, 0.0), sim::EnqueueResult::kEnqueued);
   EXPECT_EQ(q.enqueue(b, 0.0), sim::EnqueueResult::kDropped);
-  EXPECT_TRUE(q.dequeue(1e-5).has_value());
-  EXPECT_FALSE(q.dequeue(2e-5).has_value());
+  EXPECT_TRUE(deq(q, 1e-5).has_value());
+  EXPECT_FALSE(deq(q, 2e-5).has_value());
   EXPECT_EQ(q.counters().dropped, 1u);
 }
 

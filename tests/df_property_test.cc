@@ -11,6 +11,8 @@
 #include "queue/ecn_hysteresis.h"
 #include "util/rng.h"
 
+#include "queue_test_util.h"
+
 namespace dtdctcp {
 namespace {
 
@@ -137,7 +139,7 @@ TEST(AutomataAgreement, FluidAndQueueTrendPeakAgreeOnRandomWalk) {
       p.ect = true;
       queue_a.enqueue(p, 0.0);
     } else {
-      queue_a.dequeue(0.0);
+      deq(queue_a, 0.0);
     }
     fluid_a.update(static_cast<double>(queue_a.packets()));
     ASSERT_EQ(fluid_a.marking(), queue_a.marking()) << "step " << i;
@@ -166,7 +168,7 @@ TEST(HalfBand, MarksRoughlyHalfInsideBandAllAboveK2) {
   for (int i = 0; i < 1000; ++i) {
     auto x = fresh();
     q.enqueue(x, 0.0);
-    q.dequeue(0.0);
+    deq(q, 0.0);
     if (x.ce) ++marked;
   }
   EXPECT_NEAR(marked, 500, 10);
@@ -179,7 +181,7 @@ TEST(HalfBand, MarksRoughlyHalfInsideBandAllAboveK2) {
   for (int i = 0; i < 50; ++i) {
     auto x = fresh();
     q.enqueue(x, 0.0);
-    q.dequeue(0.0);
+    deq(q, 0.0);
     EXPECT_TRUE(x.ce);
   }
 }

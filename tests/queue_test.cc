@@ -10,6 +10,8 @@
 #include "queue/red.h"
 #include "util/rng.h"
 
+#include "queue_test_util.h"
+
 namespace dtdctcp {
 namespace {
 
@@ -30,11 +32,11 @@ TEST(DropTail, FifoOrder) {
     EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kEnqueued);
   }
   for (int i = 0; i < 5; ++i) {
-    auto p = q.dequeue(0.0);
+    auto p = deq(q, 0.0);
     ASSERT_TRUE(p.has_value());
     EXPECT_EQ(p->seq, i);
   }
-  EXPECT_FALSE(q.dequeue(0.0).has_value());
+  EXPECT_FALSE(deq(q, 0.0).has_value());
 }
 
 TEST(DropTail, ByteLimitDrops) {
@@ -58,15 +60,13 @@ TEST(DropTail, PacketLimitDrops) {
 
 TEST(DropTail, ObserverSeesEveryChange) {
   queue::DropTailQueue q(0, 0);
-  std::vector<std::size_t> lengths;
-  q.set_observer([&](SimTime, std::size_t pkts, std::size_t) {
-    lengths.push_back(pkts);
-  });
+  LengthRecorder recorder;
+  q.set_observer(&recorder);
   auto p = data_packet();
   q.enqueue(p, 0.0);
   q.enqueue(p, 1.0);
-  q.dequeue(2.0);
-  EXPECT_EQ(lengths, (std::vector<std::size_t>{1, 2, 1}));
+  deq(q, 2.0);
+  EXPECT_EQ(recorder.lengths, (std::vector<std::size_t>{1, 2, 1}));
 }
 
 // --- DCTCP single threshold -------------------------------------------
@@ -115,8 +115,8 @@ TEST(EcnThreshold, StopsMarkingWhenQueueFallsBelowK) {
   q.enqueue(p, 0.0);
   q.enqueue(p, 0.0);
   q.enqueue(p, 0.0);  // occupancy 2 -> marked
-  q.dequeue(0.0);
-  q.dequeue(0.0);  // occupancy back to 1
+  deq(q, 0.0);
+  deq(q, 0.0);  // occupancy back to 1
   auto fresh = data_packet();
   q.enqueue(fresh, 0.0);
   EXPECT_FALSE(fresh.ce);  // relay released immediately
@@ -134,11 +134,11 @@ TEST(EcnThreshold, DequeueMarkingUsesDepartureOccupancy) {
     EXPECT_FALSE(p.ce);  // no arrival marking in dequeue mode
   }
   // Departures leave behind 4, 3, 2, 1, 0 packets.
-  auto d0 = q.dequeue(0.0);
-  auto d1 = q.dequeue(0.0);
-  auto d2 = q.dequeue(0.0);
-  auto d3 = q.dequeue(0.0);
-  auto d4 = q.dequeue(0.0);
+  auto d0 = deq(q, 0.0);
+  auto d1 = deq(q, 0.0);
+  auto d2 = deq(q, 0.0);
+  auto d3 = deq(q, 0.0);
+  auto d4 = deq(q, 0.0);
   EXPECT_TRUE(d0->ce);
   EXPECT_TRUE(d1->ce);
   EXPECT_FALSE(d2->ce);
@@ -154,7 +154,7 @@ TEST(EcnThreshold, DequeueMarkingSkipsNonEct) {
     auto p = data_packet(1500, /*ect=*/false);
     q.enqueue(p, 0.0);
   }
-  auto d = q.dequeue(0.0);
+  auto d = deq(q, 0.0);
   EXPECT_FALSE(d->ce);
   EXPECT_EQ(q.marks(), 0u);
 }
@@ -177,16 +177,16 @@ TEST(EcnHysteresis, MarkingStartsAtK1RisingStopsAtK2Falling) {
   EXPECT_TRUE(q.marking());
 
   // Drain to 6: still marking (stop requires falling *below* K2).
-  q.dequeue(0.0);
-  q.dequeue(0.0);  // occupancy 6
+  deq(q, 0.0);
+  deq(q, 0.0);  // occupancy 6
   EXPECT_TRUE(q.marking());
-  q.dequeue(0.0);  // occupancy 5, crossed K2 downward -> stop
+  deq(q, 0.0);  // occupancy 5, crossed K2 downward -> stop
   EXPECT_FALSE(q.marking());
 
   // While idle inside (K1, K2), arriving packets are not marked (the
   // enqueue below takes occupancy to 5 + 1 = 6 only after draining one
   // more, keeping us strictly inside the band).
-  q.dequeue(0.0);  // occupancy 4
+  deq(q, 0.0);  // occupancy 4
   auto p = data_packet();
   q.enqueue(p, 0.0);  // occupancy 5, inside the band, no fresh crossing
   EXPECT_FALSE(p.ce);
@@ -202,7 +202,7 @@ TEST(EcnHysteresis, ReArmAfterFallingBelowK1) {
     }
   };
   auto drain = [&](int n) {
-    for (int i = 0; i < n; ++i) q.dequeue(0.0);
+    for (int i = 0; i < n; ++i) deq(q, 0.0);
   };
   fill(7);           // marking on
   drain(5);          // occupancy 2 < K2 crossing and < K1 -> off
@@ -220,7 +220,7 @@ TEST(EcnHysteresis, StopsWhenDrainingBelowK1WithoutReachingK2) {
   q.enqueue(p, 0.0);
   q.enqueue(p, 0.0);  // occupancy 3 -> marking on
   EXPECT_TRUE(q.marking());
-  q.dequeue(0.0);  // occupancy 2 < K1 -> off
+  deq(q, 0.0);  // occupancy 2 < K1 -> off
   EXPECT_FALSE(q.marking());
 }
 
@@ -230,9 +230,9 @@ TEST(EcnHysteresis, InBandRiseToK2Rearms) {
   queue::EcnHysteresisQueue q(0, 0, 3.0, 6.0, queue::ThresholdUnit::kPackets);
   auto p = data_packet();
   for (int i = 0; i < 7; ++i) q.enqueue(p, 0.0);  // 7, marking
-  q.dequeue(0.0);
-  q.dequeue(0.0);
-  q.dequeue(0.0);  // 4, crossed K2 down -> off
+  deq(q, 0.0);
+  deq(q, 0.0);
+  deq(q, 0.0);  // 4, crossed K2 down -> off
   EXPECT_FALSE(q.marking());
   q.enqueue(p, 0.0);  // 5
   EXPECT_FALSE(q.marking());
@@ -248,7 +248,7 @@ TEST(EcnHysteresis, EqualThresholdsDegenerateToRelayLikeBehaviour) {
   q.enqueue(p, 0.0);
   q.enqueue(p, 0.0);
   EXPECT_TRUE(q.marking());
-  q.dequeue(0.0);
+  deq(q, 0.0);
   EXPECT_FALSE(q.marking());
 }
 
@@ -274,7 +274,7 @@ TEST(EcnHysteresis, PropertyStateBoundsUnderRandomTrajectory) {
       auto p = data_packet();
       q.enqueue(p, 0.0);
     } else {
-      q.dequeue(0.0);
+      deq(q, 0.0);
     }
     const double occ = static_cast<double>(q.packets());
     if (occ >= 12.0) {
@@ -298,7 +298,7 @@ TEST(EcnHysteresis, MarkCountMatchesMarkedPackets) {
       q.enqueue(p, 0.0);
       if (p.ce) ++observed_marks;
     } else {
-      q.dequeue(0.0);
+      deq(q, 0.0);
     }
   }
   EXPECT_EQ(q.marks(), observed_marks);
@@ -327,7 +327,7 @@ TEST(EcnHysteresis, ExhaustiveBoundedModelCheck) {
               << "mask=" << mask << " step=" << step;
         }
       } else {
-        q.dequeue(0.0);
+        deq(q, 0.0);
       }
       const double occ = static_cast<double>(q.packets());
       // Invariant 1: occupancy at or above K2 forces marking.
@@ -402,7 +402,7 @@ TEST(DropTail, ZeroCapacityByteLimitRejectsEveryOffer) {
   EXPECT_EQ(q.packets(), 0u);
   EXPECT_EQ(q.bytes(), 0u);
   EXPECT_EQ(q.drops(), 5u);
-  EXPECT_FALSE(q.dequeue(0.0).has_value());
+  EXPECT_FALSE(deq(q, 0.0).has_value());
   EXPECT_EQ(q.counters().offered, 5u);
   EXPECT_EQ(q.counters().enqueued, 0u);
   EXPECT_EQ(q.counters().dropped, 5u);
@@ -413,7 +413,7 @@ TEST(DropTail, SinglePacketBuffer) {
   auto p = data_packet();
   EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kEnqueued);
   EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kDropped);
-  EXPECT_TRUE(q.dequeue(0.0).has_value());
+  EXPECT_TRUE(deq(q, 0.0).has_value());
   // Space freed: the next offer is admitted again.
   EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kEnqueued);
   EXPECT_EQ(q.drops(), 1u);
@@ -464,7 +464,7 @@ TEST(EcnHysteresis, EqualThresholdsDrainToStartVariant) {
   EXPECT_FALSE(q.marking());
   q.enqueue(p, 0.0);
   EXPECT_TRUE(q.marking());
-  q.dequeue(0.0);  // occupancy 2 < K1: off
+  deq(q, 0.0);  // occupancy 2 < K1: off
   EXPECT_FALSE(q.marking());
   q.enqueue(p, 0.0);  // back to 3: on again
   EXPECT_TRUE(q.marking());
@@ -486,9 +486,9 @@ TEST(EcnHysteresis, EqualThresholdsHalfBandVariant) {
     EXPECT_FALSE(p1.ce) << cycle;
     EXPECT_FALSE(p2.ce) << cycle;
     EXPECT_TRUE(p3.ce) << cycle;
-    q.dequeue(0.0);
-    q.dequeue(0.0);
-    q.dequeue(0.0);
+    deq(q, 0.0);
+    deq(q, 0.0);
+    deq(q, 0.0);
     EXPECT_EQ(q.packets(), 0u);
   }
   EXPECT_EQ(q.marks(), 3u);
@@ -500,7 +500,7 @@ TEST(QueueDisc, CountersTrackEveryEvent) {
   q.enqueue(p, 0.0);  // admitted, no mark (occupancy 0 < 1)
   q.enqueue(p, 0.0);  // admitted, marked
   q.enqueue(p, 0.0);  // dropped (limit 2)
-  q.dequeue(0.0);
+  deq(q, 0.0);
   const sim::Counters c = q.counters();
   EXPECT_EQ(c.offered, 3u);
   EXPECT_EQ(c.enqueued, 2u);

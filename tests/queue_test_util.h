@@ -1,0 +1,28 @@
+// Shared helpers for tests driving queue disciplines directly.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/queue_disc.h"
+
+namespace dtdctcp {
+
+/// Wraps the move-out dequeue API in the optional shape many assertions
+/// want: nullopt when the queue was empty.
+inline std::optional<sim::Packet> deq(sim::QueueDisc& q, SimTime now) {
+  sim::Packet pkt;
+  if (!q.dequeue(pkt, now)) return std::nullopt;
+  return pkt;
+}
+
+/// QueueObserver recording the packet count of every occupancy change.
+class LengthRecorder final : public sim::QueueObserver {
+ public:
+  void on_queue_change(SimTime, std::size_t pkts, std::size_t) override {
+    lengths.push_back(pkts);
+  }
+  std::vector<std::size_t> lengths;
+};
+
+}  // namespace dtdctcp

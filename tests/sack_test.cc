@@ -67,8 +67,8 @@ TEST(SackReceiver, ReportsSingleGapBlock) {
   ASSERT_EQ(rig.collector.acks.size(), 2u);
   EXPECT_EQ(rig.collector.acks[0].sack_count, 0);
   ASSERT_EQ(rig.collector.acks[1].sack_count, 1);
-  EXPECT_EQ(rig.collector.acks[1].sack[0].begin, 2);
-  EXPECT_EQ(rig.collector.acks[1].sack[0].end, 3);
+  EXPECT_EQ(rig.collector.acks[1].sack_begin(0), 2);
+  EXPECT_EQ(rig.collector.acks[1].sack_end(0), 3);
 }
 
 TEST(SackReceiver, TriggerBlockListedFirst) {
@@ -82,10 +82,10 @@ TEST(SackReceiver, TriggerBlockListedFirst) {
   ASSERT_EQ(rig.collector.acks.size(), 3u);
   const auto& ack = rig.collector.acks[2];
   ASSERT_GE(ack.sack_count, 2);
-  EXPECT_EQ(ack.sack[0].begin, 2);
-  EXPECT_EQ(ack.sack[0].end, 3);
-  EXPECT_EQ(ack.sack[1].begin, 5);
-  EXPECT_EQ(ack.sack[1].end, 6);
+  EXPECT_EQ(ack.sack_begin(0), 2);
+  EXPECT_EQ(ack.sack_end(0), 3);
+  EXPECT_EQ(ack.sack_begin(1), 5);
+  EXPECT_EQ(ack.sack_end(1), 6);
 }
 
 TEST(SackReceiver, MergesContiguousRuns) {
@@ -99,8 +99,8 @@ TEST(SackReceiver, MergesContiguousRuns) {
   rig.net.sim().run();
   const auto& ack = rig.collector.acks.back();
   ASSERT_EQ(ack.sack_count, 1);
-  EXPECT_EQ(ack.sack[0].begin, 3);
-  EXPECT_EQ(ack.sack[0].end, 6);
+  EXPECT_EQ(ack.sack_begin(0), 3);
+  EXPECT_EQ(ack.sack_end(0), 6);
 }
 
 TEST(SackReceiver, AtMostThreeBlocks) {
@@ -165,8 +165,7 @@ TEST(SackSender, RetransmitsExactlyTheHoles) {
     ack.size_bytes = 40;
     ack.seq = 1;  // cumulative: got seq 0
     if (upto > 3) {
-      ack.sack_count = 1;
-      ack.sack[0] = {3, upto};
+      ack.add_sack_block(3, upto);
     }
     return ack;
   };

@@ -12,6 +12,8 @@
 #include "sim/shared_buffer.h"
 #include "tcp/connection.h"
 
+#include "queue_test_util.h"
+
 namespace dtdctcp {
 namespace {
 
@@ -45,7 +47,7 @@ TEST(SharedBufferPool, QueueChargesAndReleases) {
   auto p = pkt();
   EXPECT_EQ(q.enqueue(p, 0.0), sim::EnqueueResult::kDropped);
   EXPECT_EQ(q.drops(), 1u);
-  q.dequeue(0.0);
+  deq(q, 0.0);
   EXPECT_EQ(pool.used(), 3000u);
   auto p2 = pkt();
   EXPECT_EQ(q.enqueue(p2, 0.0), sim::EnqueueResult::kEnqueued);
@@ -67,7 +69,7 @@ TEST(SharedBufferPool, TwoQueuesCompeteForTheSamePool) {
   auto p2 = pkt();
   EXPECT_EQ(b.enqueue(p2, 0.0), sim::EnqueueResult::kDropped);
   // Draining a restores b's headroom.
-  a.dequeue(0.0);
+  deq(a, 0.0);
   auto p3 = pkt();
   EXPECT_EQ(b.enqueue(p3, 0.0), sim::EnqueueResult::kEnqueued);
 }

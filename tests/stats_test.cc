@@ -141,6 +141,40 @@ TEST(TimeSeries, DownsampleShortSeriesUnchanged) {
   EXPECT_EQ(ts.downsample(10).size(), 2u);
 }
 
+TEST(TimeSeries, DownsampleBoundaryPointCounts) {
+  // Regression: max_points == 1 with a longer series used to compute a
+  // stride of n/0 and cast the resulting NaN to size_t (undefined
+  // behaviour). Pin down every boundary: 0, 1, 2, n, n + 1.
+  constexpr std::size_t n = 17;
+  stats::TimeSeries ts;
+  for (std::size_t i = 0; i < n; ++i) {
+    ts.add(static_cast<double>(i), static_cast<double>(i * 10));
+  }
+
+  EXPECT_EQ(ts.downsample(0).size(), 0u);
+
+  const auto one = ts.downsample(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.samples().front().value, 0.0);  // the first sample
+
+  const auto two = ts.downsample(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_DOUBLE_EQ(two.samples().front().value, 0.0);
+  EXPECT_DOUBLE_EQ(two.samples().back().value, (n - 1) * 10.0);
+
+  EXPECT_EQ(ts.downsample(n).size(), n);      // exact fit: verbatim copy
+  EXPECT_EQ(ts.downsample(n + 1).size(), n);  // more room than samples
+
+  // The degenerate inputs stay degenerate.
+  stats::TimeSeries empty;
+  EXPECT_TRUE(empty.downsample(1).empty());
+  stats::TimeSeries single;
+  single.add(3.0, 42.0);
+  const auto kept = single.downsample(1);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(kept.samples().front().value, 42.0);
+}
+
 TEST(Percentile, ExactQuartiles) {
   stats::PercentileTracker p;
   for (int i = 1; i <= 101; ++i) p.add(static_cast<double>(i));

@@ -5,9 +5,12 @@
 
 #include "queue/ecn_threshold.h"
 #include "queue/factory.h"
+#include "queue/fifo_base.h"
 #include "sim/network.h"
 #include "sim/trace.h"
 #include "tcp/connection.h"
+
+#include "queue_test_util.h"
 
 namespace dtdctcp {
 namespace {
@@ -25,7 +28,7 @@ TEST(Trace, RecordsEnqueueDequeueDropMark) {
     x.seq = i;
     q.enqueue(x, 0.1 * i);
   }
-  q.dequeue(1.0);
+  deq(q, 1.0);
 
   EXPECT_EQ(tracer.count("enq"), 3u);   // 3-packet limit
   EXPECT_EQ(tracer.count("drop"), 1u);  // the 4th
@@ -35,6 +38,48 @@ TEST(Trace, RecordsEnqueueDequeueDropMark) {
   EXPECT_EQ(tracer.events.front().kind, "enq");
   EXPECT_EQ(tracer.events.front().seq, 0);
   EXPECT_DOUBLE_EQ(tracer.events.front().time, 0.0);
+}
+
+TEST(Trace, BypassMarkingReachesTracer) {
+  // Regression: a discipline that marks on the bypass path (PIE's
+  // arrival probability applies to bypassing packets too) must emit the
+  // same "mark" trace event the queue path does.
+  class BypassMarker final : public queue::FifoBase {
+   public:
+    BypassMarker() : FifoBase(0, 0) {}
+
+   protected:
+    void do_bypass(sim::Packet& pkt, SimTime) final {
+      if (pkt.ect) pkt.ce = true;
+    }
+  };
+
+  BypassMarker q;
+  sim::RecordingTracer tracer;
+  q.set_trace(&tracer);
+
+  sim::Packet marked;
+  marked.size_bytes = 1500;
+  marked.ect = true;
+  q.on_bypass(marked, 0.0);
+  EXPECT_TRUE(marked.ce);
+  EXPECT_EQ(tracer.count("mark"), 1u);
+
+  // Non-ECT bypass: no mark, no event.
+  sim::Packet plain;
+  plain.size_bytes = 1500;
+  q.on_bypass(plain, 0.1);
+  EXPECT_FALSE(plain.ce);
+  EXPECT_EQ(tracer.count("mark"), 1u);
+
+  // Already-CE bypass: no duplicate mark event.
+  sim::Packet ce;
+  ce.size_bytes = 1500;
+  ce.ect = true;
+  ce.ce = true;
+  q.on_bypass(ce, 0.2);
+  EXPECT_EQ(tracer.count("mark"), 1u);
+  EXPECT_EQ(q.counters().bypassed, 3u);
 }
 
 TEST(Trace, TextTracerFormatsOneLinePerEvent) {

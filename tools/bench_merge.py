@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Merge google-benchmark JSON outputs and gate on pkts/s regressions.
+
+Two subcommands:
+
+  merge OUT IN [IN ...]
+      Concatenates the "benchmarks" arrays of the inputs into OUT,
+      keeping the first input's "context". Used by CI to fold
+      micro_simcore and micro_dataplane results into the single
+      BENCH_simcore.json artifact.
+
+  compare BASELINE CURRENT [--max-regression FRAC]
+      Compares every benchmark carrying a "pkts/s" counter (the
+      dumbbell end-to-end runs) that appears in both files. Exits
+      non-zero when any of them regressed by more than FRAC
+      (default 0.10) relative to the baseline.
+
+Only the standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def cmd_merge(args):
+    merged = None
+    for path in args.inputs:
+        doc = load(path)
+        if merged is None:
+            merged = {"context": doc.get("context", {}), "benchmarks": []}
+        merged["benchmarks"].extend(doc.get("benchmarks", []))
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"merged {len(args.inputs)} file(s), "
+          f"{len(merged['benchmarks'])} benchmark entries -> {args.out}")
+    return 0
+
+
+def pkts_rates(doc):
+    """name -> pkts/s for every aggregate-free benchmark entry."""
+    rates = {}
+    for b in doc.get("benchmarks", []):
+        # Skip _mean/_stddev style aggregate rows; compare raw runs.
+        if b.get("run_type") == "aggregate":
+            continue
+        rate = b.get("pkts/s")
+        if rate is not None:
+            rates[b["name"]] = float(rate)
+    return rates
+
+
+def cmd_compare(args):
+    base = pkts_rates(load(args.baseline))
+    cur = pkts_rates(load(args.current))
+    common = sorted(set(base) & set(cur))
+    if not common:
+        print("error: no common pkts/s benchmarks to compare", file=sys.stderr)
+        return 2
+    failed = False
+    for name in common:
+        ratio = cur[name] / base[name]
+        verdict = "ok"
+        if ratio < 1.0 - args.max_regression:
+            verdict = "REGRESSION"
+            failed = True
+        print(f"{name}: baseline {base[name]:.0f} pkts/s, "
+              f"current {cur[name]:.0f} pkts/s "
+              f"({(ratio - 1.0) * 100:+.1f}%) {verdict}")
+    if failed:
+        print(f"fail: dumbbell pkts/s regressed more than "
+              f"{args.max_regression * 100:.0f}% vs baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_merge = sub.add_parser("merge", help="merge benchmark JSON files")
+    p_merge.add_argument("out")
+    p_merge.add_argument("inputs", nargs="+")
+    p_merge.set_defaults(func=cmd_merge)
+
+    p_cmp = sub.add_parser("compare", help="gate on pkts/s regressions")
+    p_cmp.add_argument("baseline")
+    p_cmp.add_argument("current")
+    p_cmp.add_argument("--max-regression", type=float, default=0.10,
+                       help="maximum tolerated fractional drop (default 0.10)")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()
