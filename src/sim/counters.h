@@ -4,6 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+
+#include "stats/metrics.h"
 
 namespace dtdctcp::sim {
 
@@ -41,5 +44,22 @@ struct Counters {
     return *this;
   }
 };
+
+/// Registers one MetricsRegistry counter per field under `prefix`
+/// (e.g. "switch0"): <prefix>.offered, <prefix>.marked, ... — how a
+/// port's or switch's packet accounting joins the observability layer.
+inline void export_counters(stats::MetricsRegistry& reg,
+                            const std::string& prefix, const Counters& c) {
+  reg.counter(prefix + ".offered").add(c.offered);
+  reg.counter(prefix + ".enqueued").add(c.enqueued);
+  reg.counter(prefix + ".dequeued").add(c.dequeued);
+  reg.counter(prefix + ".bypassed").add(c.bypassed);
+  reg.counter(prefix + ".dropped").add(c.dropped);
+  reg.counter(prefix + ".marked").add(c.marked);
+  reg.counter(prefix + ".sent_packets").add(c.sent_packets);
+  reg.counter(prefix + ".sent_bytes").add(c.sent_bytes);
+  reg.counter(prefix + ".unrouted_dropped").add(c.unrouted_dropped);
+  reg.counter(prefix + ".unbound_dropped").add(c.unbound_dropped);
+}
 
 }  // namespace dtdctcp::sim

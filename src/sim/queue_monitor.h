@@ -5,7 +5,10 @@
 // given time while the trace (if enabled) keeps everything.
 #pragma once
 
+#include <string>
+
 #include "sim/queue_disc.h"
+#include "stats/metrics.h"
 #include "stats/time_series.h"
 #include "stats/time_weighted.h"
 #include "util/units.h"
@@ -40,6 +43,19 @@ class QueueMonitor final : public QueueObserver {
   const stats::TimeWeighted& packets() const { return pkt_stats_; }
   const stats::TimeWeighted& bytes() const { return byte_stats_; }
   const stats::TimeSeries& trace() const { return trace_; }
+
+  /// Registers the occupancy statistics as gauges under `prefix` (e.g.
+  /// "switch0.port1.queue"): <prefix>.pkts.{mean,stddev,min,max} and
+  /// <prefix>.bytes.mean — the flow-level observability view of the
+  /// queue this monitor watched.
+  void export_to(stats::MetricsRegistry& reg,
+                 const std::string& prefix) const {
+    reg.gauge(prefix + ".pkts.mean").set(pkt_stats_.mean());
+    reg.gauge(prefix + ".pkts.stddev").set(pkt_stats_.stddev());
+    reg.gauge(prefix + ".pkts.min").set(pkt_stats_.min());
+    reg.gauge(prefix + ".pkts.max").set(pkt_stats_.max());
+    reg.gauge(prefix + ".bytes.mean").set(byte_stats_.mean());
+  }
 
   void on_queue_change(SimTime t, std::size_t pkts,
                        std::size_t bytes) override {

@@ -15,10 +15,12 @@
 
 #include <cstdint>
 #include <ostream>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "sim/packet.h"
+#include "stats/metrics.h"
 
 namespace dtdctcp::sim {
 
@@ -74,6 +76,50 @@ class RecordingTracer final : public TraceSink {
   }
 
   std::vector<Event> events;
+};
+
+/// Counts packet events into a MetricsRegistry — the trace hook of the
+/// flow-level observability layer. Registers <prefix>.{enq,deq,drop,
+/// mark,tx} counters up front and bumps them by pointer afterwards, so
+/// attaching one to a hot queue costs a handful of compares per event
+/// and never allocates.
+class CountingTracer final : public TraceSink {
+ public:
+  CountingTracer(stats::MetricsRegistry& reg, const std::string& prefix)
+      : enq_(&reg.counter(prefix + ".enq")),
+        deq_(&reg.counter(prefix + ".deq")),
+        drop_(&reg.counter(prefix + ".drop")),
+        mark_(&reg.counter(prefix + ".mark")),
+        tx_(&reg.counter(prefix + ".tx")),
+        other_(&reg.counter(prefix + ".other")) {}
+
+  void packet_event(const char* event, const Packet& pkt,
+                    SimTime now) override {
+    (void)pkt;
+    (void)now;
+    const std::string_view kind = event;
+    if (kind == "enq") {
+      enq_->add();
+    } else if (kind == "deq") {
+      deq_->add();
+    } else if (kind == "drop") {
+      drop_->add();
+    } else if (kind == "mark") {
+      mark_->add();
+    } else if (kind == "tx") {
+      tx_->add();
+    } else {
+      other_->add();
+    }
+  }
+
+ private:
+  stats::Counter* enq_;
+  stats::Counter* deq_;
+  stats::Counter* drop_;
+  stats::Counter* mark_;
+  stats::Counter* tx_;
+  stats::Counter* other_;
 };
 
 }  // namespace dtdctcp::sim

@@ -35,8 +35,13 @@ class TimeWeighted {
     last_time_ = t;
   }
 
-  /// Closes the observation window at time `t` without changing the value.
-  void finish(SimTime t) { update(t, current_); }
+  /// Closes the observation window at time `t` without changing the
+  /// value. A no-op on a never-updated tracker: there is no window to
+  /// close, and feeding the default `current_ == 0.0` through update()
+  /// would flip `has_value_` and pollute min/max with a spurious 0.
+  void finish(SimTime t) {
+    if (has_value_) update(t, current_);
+  }
 
   double mean() const { return duration_ > 0.0 ? integral_ / duration_ : 0.0; }
 

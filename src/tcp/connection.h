@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "sim/network.h"
+#include "tcp/flow_metrics.h"
 #include "tcp/receiver.h"
 #include "tcp/sender.h"
 
@@ -39,6 +40,24 @@ class Connection {
   /// Completion = all segments cumulatively acknowledged at the sender.
   void set_on_complete(std::function<void(SimTime)> cb) {
     sender_->set_on_complete(std::move(cb));
+  }
+
+  /// Lifecycle snapshot combining both endpoints — meaningful once the
+  /// flow completed (workloads collect one per finished flow), but safe
+  /// to take at any time for in-flight inspection.
+  FlowRecord flow_record() const {
+    FlowRecord r;
+    r.flow = flow_;
+    r.size_segments = sender_->total_segments();
+    r.start = sender_->start_time();
+    r.first_byte = receiver_->first_data_time();
+    r.completion = sender_->completion_time();
+    r.retransmissions = sender_->retransmissions();
+    r.timeouts = sender_->timeouts();
+    r.marks_seen = sender_->ece_acks();
+    r.deadline = sender_->config().deadline;
+    r.deadline_met = sender_->deadline_met();
+    return r;
   }
 
  private:

@@ -1,0 +1,138 @@
+// Per-flow lifecycle records and their aggregation into FCT metrics.
+//
+// A FlowRecord is the complete observable life of one finite transfer:
+// start / first-byte / completion timestamps, loss-recovery activity,
+// congestion marks seen, and the deadline verdict for D2TCP flows.
+// Connections materialize one on demand (tcp::Connection::flow_record);
+// workloads push completed records into a FlowMetricsCollector, which
+// maintains size-classed FCT distributions (exact percentiles via
+// PercentileTracker) and exports everything into a MetricsRegistry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/packet.h"
+#include "stats/metrics.h"
+#include "stats/percentile.h"
+#include "util/units.h"
+
+namespace dtdctcp::tcp {
+
+/// Lifecycle summary of one finite flow.
+struct FlowRecord {
+  sim::FlowId flow = 0;
+  std::int64_t size_segments = 0;
+  SimTime start = 0.0;       ///< sender began transmitting
+  SimTime first_byte = 0.0;  ///< first data segment reached the receiver
+  SimTime completion = 0.0;  ///< last segment cumulatively acknowledged
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t marks_seen = 0;  ///< ACKs carrying the ECN echo
+  SimTime deadline = 0.0;        ///< absolute; 0 = none (non-D2TCP flows)
+  bool deadline_met = true;
+
+  double fct() const { return completion - start; }
+  double first_byte_latency() const { return first_byte - start; }
+};
+
+/// Aggregates completed FlowRecords into FCT distributions, size-classed
+/// with the same small/large segment cutoffs the Poisson workloads use.
+class FlowMetricsCollector {
+ public:
+  /// Cutoffs in segments: size <= small is a small flow, >= large is a
+  /// large flow, anything between is medium (the DCTCP convention of
+  /// ~100 KB and ~1 MB at MSS 1500).
+  explicit FlowMetricsCollector(std::int64_t small_cutoff_segments = 70,
+                                std::int64_t large_cutoff_segments = 670)
+      : small_cutoff_(small_cutoff_segments),
+        large_cutoff_(large_cutoff_segments) {}
+
+  void record(const FlowRecord& r) {
+    records_.push_back(r);
+    const double fct = r.fct();
+    fct_all_.add(fct);
+    first_byte_.add(r.first_byte_latency());
+    if (r.size_segments <= small_cutoff_) {
+      fct_small_.add(fct);
+    } else if (r.size_segments >= large_cutoff_) {
+      fct_large_.add(fct);
+    } else {
+      fct_medium_.add(fct);
+    }
+    retransmissions_ += r.retransmissions;
+    timeouts_ += r.timeouts;
+    marks_seen_ += r.marks_seen;
+    if (r.deadline > 0.0) {
+      ++deadline_flows_;
+      if (!r.deadline_met) ++deadline_missed_;
+    }
+  }
+
+  std::size_t flows() const { return records_.size(); }
+  const std::vector<FlowRecord>& records() const { return records_; }
+
+  stats::PercentileTracker& fct_all() { return fct_all_; }
+  stats::PercentileTracker& fct_small() { return fct_small_; }
+  stats::PercentileTracker& fct_medium() { return fct_medium_; }
+  stats::PercentileTracker& fct_large() { return fct_large_; }
+  stats::PercentileTracker& first_byte_latency() { return first_byte_; }
+
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t marks_seen() const { return marks_seen_; }
+  std::uint64_t deadline_flows() const { return deadline_flows_; }
+  std::uint64_t deadline_missed() const { return deadline_missed_; }
+  std::uint64_t deadline_met() const {
+    return deadline_flows_ - deadline_missed_;
+  }
+
+  /// Registers everything under `prefix` (e.g. "fct.websearch"):
+  /// counters for flows/retransmissions/timeouts/marks/deadlines,
+  /// gauges for the mean/median/p99 of each size class, and one
+  /// log-linear FCT histogram rebuilt from the records. Non-const
+  /// because exact percentile queries sort lazily.
+  void export_to(stats::MetricsRegistry& reg, const std::string& prefix) {
+    reg.counter(prefix + ".flows").add(records_.size());
+    reg.counter(prefix + ".retransmissions").add(retransmissions_);
+    reg.counter(prefix + ".timeouts").add(timeouts_);
+    reg.counter(prefix + ".marks_seen").add(marks_seen_);
+    reg.counter(prefix + ".deadline.flows").add(deadline_flows_);
+    reg.counter(prefix + ".deadline.missed").add(deadline_missed_);
+    export_tracker(reg, prefix + ".fct", fct_all_);
+    export_tracker(reg, prefix + ".fct_small", fct_small_);
+    export_tracker(reg, prefix + ".fct_medium", fct_medium_);
+    export_tracker(reg, prefix + ".fct_large", fct_large_);
+    export_tracker(reg, prefix + ".first_byte", first_byte_);
+    auto& h = reg.histogram(prefix + ".fct_hist", /*min_value=*/1e-6);
+    for (const auto& r : records_) h.add(r.fct());
+  }
+
+ private:
+  static void export_tracker(stats::MetricsRegistry& reg,
+                             const std::string& prefix,
+                             stats::PercentileTracker& t) {
+    if (t.count() == 0) return;
+    reg.gauge(prefix + ".mean").set(t.mean());
+    reg.gauge(prefix + ".p50").set(t.median());
+    reg.gauge(prefix + ".p99").set(t.p99());
+    reg.gauge(prefix + ".max").set(t.max());
+  }
+
+  std::int64_t small_cutoff_;
+  std::int64_t large_cutoff_;
+  std::vector<FlowRecord> records_;
+  stats::PercentileTracker fct_all_;
+  stats::PercentileTracker fct_small_;
+  stats::PercentileTracker fct_medium_;
+  stats::PercentileTracker fct_large_;
+  stats::PercentileTracker first_byte_;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t marks_seen_ = 0;
+  std::uint64_t deadline_flows_ = 0;
+  std::uint64_t deadline_missed_ = 0;
+};
+
+}  // namespace dtdctcp::tcp

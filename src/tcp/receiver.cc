@@ -30,6 +30,7 @@ void TcpReceiver::deliver(sim::Packet pkt) {
 }
 
 void TcpReceiver::handle_data(const sim::Packet& pkt) {
+  if (first_data_time_ < 0.0) first_data_time_ = sim_.now();
   ++segments_received_;
   bytes_received_ += pkt.size_bytes;
   if (pkt.ce) ++ce_received_;

@@ -41,6 +41,9 @@ class TcpReceiver final : public sim::PacketSink {
   sim::FlowId flow() const { return flow_; }
   const TcpConfig& config() const { return cfg_; }
   std::int64_t next_expected() const { return cum_ack_; }
+  /// Arrival time of the first data segment (the flow's first byte);
+  /// negative until one arrives.
+  SimTime first_data_time() const { return first_data_time_; }
   std::uint64_t segments_received() const { return segments_received_; }
   std::uint64_t ce_received() const { return ce_received_; }
   std::uint64_t bytes_received() const { return bytes_received_; }
@@ -74,6 +77,7 @@ class TcpReceiver final : public sim::PacketSink {
   sim::Packet last_data_{};        ///< trigger metadata for the pending ACK
   sim::TimerHandle delack_timer_;  ///< cancelled on every flush
 
+  SimTime first_data_time_ = -1.0;  ///< < 0 until the first data segment
   std::uint64_t segments_received_ = 0;
   std::uint64_t ce_received_ = 0;
   std::uint64_t bytes_received_ = 0;

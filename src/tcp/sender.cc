@@ -59,6 +59,7 @@ void TcpSender::deliver(sim::Packet pkt) {
 }
 
 void TcpSender::handle_ack(const sim::Packet& ack) {
+  if (ack.ece) ++ece_acks_;
   update_rtt(ack);
   if (cfg_.sack_enabled) sack_update(ack);
 
@@ -80,6 +81,7 @@ void TcpSender::handle_ack(const sim::Packet& ack) {
 }
 
 void TcpSender::on_new_ack(const sim::Packet& ack, std::int64_t newly_acked) {
+  if (first_ack_time_ < 0.0) first_ack_time_ = sim_.now();
   snd_una_ = ack.seq;
   backoff_ = 0;
   // Scoreboard entries below the new cumulative ACK are history.

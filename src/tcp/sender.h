@@ -71,11 +71,24 @@ class TcpSender final : public sim::PacketSink {
   bool completed() const { return completed_; }
   SimTime start_time() const { return start_time_; }
   SimTime completion_time() const { return completion_time_; }
+  std::int64_t total_segments() const { return total_segments_; }
+  /// Time the first cumulative ACK arrived (first byte known delivered);
+  /// negative until then.
+  SimTime first_ack_time() const { return first_ack_time_; }
+  /// Deadline verdict (D2TCP accounting): met when the flow completed
+  /// by `cfg.deadline`; a flow with no deadline always counts as met.
+  bool deadline_met() const {
+    return completed_ &&
+           (cfg_.deadline <= 0.0 || completion_time_ <= cfg_.deadline);
+  }
   std::uint64_t segments_sent() const { return segments_sent_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t fast_retransmits() const { return fast_retransmits_; }
   std::uint64_t ecn_reductions() const { return ecn_reductions_; }
+  /// ACKs that carried the ECN echo — the congestion marks this flow
+  /// actually saw, as opposed to the reductions it took.
+  std::uint64_t ece_acks() const { return ece_acks_; }
   std::size_t sacked_segments() const { return sacked_.size(); }
   const stats::TimeSeries& cwnd_trace() const { return cwnd_trace_; }
 
@@ -158,12 +171,14 @@ class TcpSender final : public sim::PacketSink {
   bool completed_ = false;
   SimTime start_time_ = 0.0;
   SimTime completion_time_ = 0.0;
+  SimTime first_ack_time_ = -1.0;  ///< < 0 until the first cumulative ACK
 
   std::uint64_t segments_sent_ = 0;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t fast_retransmits_ = 0;
   std::uint64_t ecn_reductions_ = 0;
+  std::uint64_t ece_acks_ = 0;
 
   bool trace_cwnd_ = false;
   stats::TimeSeries cwnd_trace_;

@@ -5,6 +5,7 @@
 // proper CSV with quoting of the few characters that need it.
 #pragma once
 
+#include <charconv>
 #include <fstream>
 #include <initializer_list>
 #include <ostream>
@@ -33,15 +34,26 @@ class CsvWriter {
     row(std::vector<std::string>(fields));
   }
 
-  /// Convenience numeric row.
+  /// Convenience numeric row. Values are written in the shortest form
+  /// that parses back to the identical double (std::to_chars) — the
+  /// default 6-significant-digit ostream formatting silently rounded
+  /// exported traces relative to the in-memory values and the stdout
+  /// tables derived from them.
   void numeric_row(const std::vector<double>& values) {
     bool first = true;
     for (double v : values) {
       if (!first) out_ << ',';
       first = false;
-      out_ << v;
+      out_ << format_double(v);
     }
     out_ << '\n';
+  }
+
+  /// Shortest round-trip decimal representation of `v`.
+  static std::string format_double(double v) {
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
   }
 
   static std::string escape(const std::string& f) {

@@ -1,0 +1,239 @@
+// FCT workload harness: empirical flow-size mixes x marking schemes on
+// a many-to-one bottleneck — the repeatable flow-completion-time
+// benchmark behind bench/ext_fct_workloads.
+//
+// Topology per run: N sender hosts (fast edge links) -> 1 switch -> 1
+// sink host behind the bottleneck link, where the marking scheme under
+// test runs on the switch's sink-facing egress queue. An open-loop
+// Poisson process (workload::PoissonFlowGenerator) draws flow sizes
+// from one of the empirical distributions in workload/flow_sampler.h
+// and offers a fixed fraction of the bottleneck capacity.
+//
+// Every flow's lifecycle lands in a tcp::FlowMetricsCollector, and the
+// whole run is summarized twice: as a plain FctWorkloadResult struct
+// (what the bench tabulates) and as a stats::MetricsRegistry carried
+// inside it (what gets exported as JSON/CSV). format_fct_row() renders
+// the one canonical table row — the bench prints it and the
+// serial-vs-parallel determinism test compares it, so "byte-identical
+// output" is pinned at the formatting layer.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "queue/factory.h"
+#include "sim/counters.h"
+#include "sim/network.h"
+#include "sim/queue_monitor.h"
+#include "stats/metrics.h"
+#include "tcp/config.h"
+#include "tcp/flow_metrics.h"
+#include "util/units.h"
+#include "workload/flow_sampler.h"
+#include "workload/poisson_flows.h"
+
+namespace dtdctcp::workload {
+
+/// Which empirical size distribution drives the arrivals.
+enum class FctWorkloadKind { kWebSearch, kDataMining, kQueryBackground };
+
+/// Which marking scheme runs on the bottleneck egress.
+enum class FctScheme {
+  kDctcp,   ///< single threshold K = 20 pkts
+  kDtLoop,  ///< hysteresis K1 = 15 / K2 = 25, trend-peak loop (DT-DCTCP)
+  kDtBand,  ///< hysteresis K1 = 15 / K2 = 25, half-band stop rule
+};
+
+inline const char* fct_workload_name(FctWorkloadKind k) {
+  switch (k) {
+    case FctWorkloadKind::kWebSearch: return "websearch";
+    case FctWorkloadKind::kDataMining: return "datamining";
+    case FctWorkloadKind::kQueryBackground: return "querybg";
+  }
+  return "?";
+}
+
+inline const char* fct_scheme_name(FctScheme s) {
+  switch (s) {
+    case FctScheme::kDctcp: return "dctcp";
+    case FctScheme::kDtLoop: return "dt-loop";
+    case FctScheme::kDtBand: return "dt-band";
+  }
+  return "?";
+}
+
+inline FlowSizeDist fct_workload_sizes(FctWorkloadKind k) {
+  switch (k) {
+    case FctWorkloadKind::kWebSearch: return web_search_sizes();
+    case FctWorkloadKind::kDataMining: return data_mining_sizes();
+    case FctWorkloadKind::kQueryBackground: return query_background_sizes();
+  }
+  return web_search_sizes();
+}
+
+/// Queue factory for the bottleneck egress: buffer `buffer_pkts` deep,
+/// marking per the scheme (thresholds in packets, the paper's units).
+inline sim::QueueFactory fct_marking(FctScheme s, std::size_t buffer_pkts) {
+  switch (s) {
+    case FctScheme::kDctcp:
+      return queue::ecn_threshold(0, buffer_pkts, 20.0,
+                                  queue::ThresholdUnit::kPackets);
+    case FctScheme::kDtLoop:
+      return queue::ecn_hysteresis(0, buffer_pkts, 15.0, 25.0,
+                                   queue::ThresholdUnit::kPackets,
+                                   queue::HysteresisVariant::kTrendPeak);
+    case FctScheme::kDtBand:
+      return queue::ecn_hysteresis(0, buffer_pkts, 15.0, 25.0,
+                                   queue::ThresholdUnit::kPackets,
+                                   queue::HysteresisVariant::kHalfBand);
+  }
+  return queue::drop_tail(0, buffer_pkts);
+}
+
+struct FctWorkloadConfig {
+  FctWorkloadKind kind = FctWorkloadKind::kWebSearch;
+  FctScheme scheme = FctScheme::kDctcp;
+  double load = 0.6;            ///< offered fraction of bottleneck capacity
+  SimTime duration = 0.5;       ///< arrival window; flows may finish later
+  std::size_t senders = 8;
+  double link_bps = units::gbps(1);  ///< bottleneck; edges run 10x this
+  std::size_t buffer_pkts = 250;
+  std::uint64_t seed = 1;
+  tcp::CcMode cc_mode = tcp::CcMode::kDctcp;
+  /// When > 0, every flow gets deadline = arrival + flow_deadline and
+  /// the result carries met/missed counts (pair with CcMode::kD2tcp).
+  SimTime flow_deadline = 0.0;
+};
+
+struct FctWorkloadResult {
+  std::size_t flows_started = 0;
+  std::size_t flows_completed = 0;
+  double fct_mean = 0.0, fct_p50 = 0.0, fct_p99 = 0.0, fct_max = 0.0;
+  double small_p50 = 0.0, small_p99 = 0.0;
+  double large_mean = 0.0, large_p99 = 0.0;
+  std::uint64_t retransmissions = 0, timeouts = 0, marks_seen = 0;
+  std::uint64_t drops = 0, marked_pkts = 0;
+  std::uint64_t deadline_flows = 0, deadline_missed = 0;
+  double queue_mean_pkts = 0.0, queue_max_pkts = 0.0;
+  /// Full observability export for this run (JSON/CSV via
+  /// maybe_export). Value-semantic so results ride through
+  /// runner::run_jobs unchanged.
+  stats::MetricsRegistry metrics;
+};
+
+inline FctWorkloadResult run_fct_workload(const FctWorkloadConfig& cfg) {
+  sim::Network net;
+  auto& sw = net.add_switch("sw");
+  auto& sink = net.add_host("sink");
+  const auto edge = queue::drop_tail(0, 0);
+  // The contended queue is the switch's sink-facing egress.
+  const std::size_t sink_port =
+      net.attach_host(sink, sw, cfg.link_bps, 25e-6, edge,
+                      fct_marking(cfg.scheme, cfg.buffer_pkts));
+  std::vector<sim::Host*> senders;
+  senders.reserve(cfg.senders);
+  for (std::size_t i = 0; i < cfg.senders; ++i) {
+    auto& h = net.add_host("h" + std::to_string(i));
+    net.attach_host(h, sw, 10.0 * cfg.link_bps, 25e-6, edge, edge);
+    senders.push_back(&h);
+  }
+  net.build_routes();
+
+  sim::QueueMonitor monitor;
+  monitor.attach(sw.port(sink_port).disc());
+
+  tcp::TcpConfig tcp_cfg;
+  tcp_cfg.mode = cfg.cc_mode;
+  tcp_cfg.min_rto = 0.01;  // datacenter-tuned, as in the FCT-vs-load bench
+  tcp_cfg.init_rto = 0.01;
+
+  PoissonConfig pcfg;
+  pcfg.sizes = fct_workload_sizes(cfg.kind);
+  pcfg.arrivals_per_sec = arrival_rate_for_load(cfg.load, cfg.link_bps,
+                                                pcfg.sizes, tcp_cfg.mss_bytes);
+  pcfg.duration = cfg.duration;
+  pcfg.seed = cfg.seed;
+  pcfg.flow_deadline = cfg.flow_deadline;
+
+  tcp::FlowMetricsCollector collector(pcfg.small_cutoff_segments,
+                                      pcfg.large_cutoff_segments);
+  PoissonFlowGenerator gen(net, senders, {&sink}, tcp_cfg, pcfg);
+  gen.set_collector(&collector);
+  gen.start(0.0);
+  net.sim().run();
+  monitor.finish(net.sim().now());
+
+  FctWorkloadResult r;
+  r.flows_started = gen.flows_started();
+  r.flows_completed = gen.flows_completed();
+  auto& all = collector.fct_all();
+  if (all.count() > 0) {
+    r.fct_mean = all.mean();
+    r.fct_p50 = all.median();
+    r.fct_p99 = all.p99();
+    r.fct_max = all.max();
+  }
+  auto& small = collector.fct_small();
+  if (small.count() > 0) {
+    r.small_p50 = small.median();
+    r.small_p99 = small.p99();
+  }
+  auto& large = collector.fct_large();
+  if (large.count() > 0) {
+    r.large_mean = large.mean();
+    r.large_p99 = large.p99();
+  }
+  r.retransmissions = collector.retransmissions();
+  r.timeouts = collector.timeouts();
+  r.marks_seen = collector.marks_seen();
+  r.deadline_flows = collector.deadline_flows();
+  r.deadline_missed = collector.deadline_missed();
+  const sim::Counters sc = sw.counters();
+  r.drops = sc.dropped;
+  r.marked_pkts = sc.marked;
+  r.queue_mean_pkts = monitor.packets().mean();
+  r.queue_max_pkts = monitor.packets().max();
+
+  const std::string prefix = std::string("fct.") +
+                             fct_workload_name(cfg.kind) + "." +
+                             fct_scheme_name(cfg.scheme);
+  collector.export_to(r.metrics, prefix);
+  monitor.export_to(r.metrics, prefix + ".queue");
+  sim::export_counters(r.metrics, prefix + ".switch", sc);
+  return r;
+}
+
+/// The canonical fixed-width table row for one run. Both the bench's
+/// stdout table and the determinism test go through here, so the
+/// serial-vs-parallel byte-identity guarantee covers exactly what the
+/// user sees.
+inline std::string format_fct_row(const FctWorkloadConfig& cfg,
+                                  const FctWorkloadResult& r) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "%-11s %-8s | %6zu %6zu | %9.3f %9.3f %9.3f | %9.3f %9.2f | %8.1f | "
+      "%5llu %5llu %8llu",
+      fct_workload_name(cfg.kind), fct_scheme_name(cfg.scheme),
+      r.flows_started, r.flows_completed, r.fct_mean * 1e3, r.fct_p50 * 1e3,
+      r.fct_p99 * 1e3, r.small_p99 * 1e3, r.large_mean * 1e3,
+      r.queue_mean_pkts, static_cast<unsigned long long>(r.timeouts),
+      static_cast<unsigned long long>(r.drops),
+      static_cast<unsigned long long>(r.marks_seen));
+  return std::string(buf);
+}
+
+/// Column header matching format_fct_row.
+inline std::string fct_row_header() {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "%-11s %-8s | %6s %6s | %9s %9s %9s | %9s %9s | %8s | %5s %5s %8s",
+      "workload", "scheme", "start", "done", "mean_ms", "p50_ms", "p99_ms",
+      "sm_p99", "lg_mean", "q_pkts", "to", "drop", "marks");
+  return std::string(buf);
+}
+
+}  // namespace dtdctcp::workload

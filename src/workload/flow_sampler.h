@@ -1,6 +1,11 @@
-// Periodic per-flow throughput sampling — drives convergence/fairness
-// experiments (flows joining and leaving a bottleneck, DCTCP
-// SIGCOMM-style) and fairness-over-time traces.
+// Flow-level sampling and empirical datacenter flow-size distributions.
+//
+// Two things live here: periodic per-flow throughput sampling (drives
+// convergence/fairness experiments, DCTCP SIGCOMM-style) and the
+// empirical flow-size CDFs the FCT benchmarks draw from — the
+// web-search (DCTCP, Alizadeh et al. 2010) and data-mining (VL2,
+// Greenberg et al. 2009) distributions, plus the query/background mix
+// of this paper's §VI testbed.
 #pragma once
 
 #include <cstdint>
@@ -11,8 +16,62 @@
 #include "stats/fairness.h"
 #include "stats/time_series.h"
 #include "tcp/connection.h"
+#include "workload/poisson_flows.h"
 
 namespace dtdctcp::workload {
+
+// ---------------------------------------------------------------------
+// Empirical flow-size distributions (sizes in MSS-1500 segments).
+//
+// Each is the published CDF discretized into atoms: atom size = the CDF
+// point, atom weight = the CDF increment at that point. Documented
+// substitutions: the original traces are proprietary, so these are the
+// widely used published shapes, and the extreme tail is truncated (web
+// search at ~10 MB, data mining at ~30 MB) so a single tail flow cannot
+// dominate a CI-scaled run; the short/long dichotomy and the heavy-tail
+// byte share both survive the truncation.
+// ---------------------------------------------------------------------
+
+/// Web-search workload (DCTCP paper): ~50% of flows under 25 KB, ~10%
+/// above 2.5 MB carrying most of the bytes. Mean ~1 MB.
+inline FlowSizeDist web_search_sizes() {
+  return FlowSizeDist({{1, 0.10},
+                       {2, 0.10},
+                       {4, 0.10},
+                       {9, 0.10},
+                       {17, 0.13},
+                       {45, 0.07},
+                       {90, 0.10},
+                       {333, 0.10},
+                       {1667, 0.10},
+                       {3333, 0.05},
+                       {6667, 0.05}});
+}
+
+/// Data-mining workload (VL2): ~80% of flows under 100 KB (half a
+/// single segment), with a much heavier tail than web search. Mean
+/// ~1.3 MB after truncation.
+inline FlowSizeDist data_mining_sizes() {
+  return FlowSizeDist({{1, 0.50},
+                       {2, 0.10},
+                       {7, 0.10},
+                       {67, 0.10},
+                       {667, 0.10},
+                       {3333, 0.05},
+                       {6667, 0.03},
+                       {20000, 0.02}});
+}
+
+/// The paper's §VI testbed mix: mostly short query responses (~2
+/// segments, the partition-aggregate traffic of Figs. 14-15) over a
+/// background of medium-to-large transfers up to ~5 MB.
+inline FlowSizeDist query_background_sizes() {
+  return FlowSizeDist({{2, 0.60},
+                       {14, 0.15},
+                       {70, 0.10},
+                       {700, 0.10},
+                       {3500, 0.05}});
+}
 
 class FlowThroughputSampler {
  public:

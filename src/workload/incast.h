@@ -23,6 +23,7 @@
 #include "sim/network.h"
 #include "stats/percentile.h"
 #include "tcp/connection.h"
+#include "tcp/flow_metrics.h"
 #include "util/rng.h"
 
 namespace dtdctcp::workload {
@@ -56,6 +57,13 @@ class IncastRunner {
   /// Invoked after the final query completes.
   void set_on_done(std::function<void()> cb) { on_done_ = std::move(cb); }
 
+  /// Optional per-flow lifecycle sink. Each worker connection's
+  /// FlowRecord is harvested when the connection is torn down: per
+  /// query in kFreshPerQuery mode, cumulative over all repetitions in
+  /// kPersistent mode (extend() reuses the connection, so its counters
+  /// and completion time span every round).
+  void set_collector(tcp::FlowMetricsCollector* c) { collector_ = c; }
+
   /// Per-query completion times in seconds (request to last byte).
   stats::PercentileTracker& completion_times() { return completions_; }
 
@@ -86,6 +94,7 @@ class IncastRunner {
     const bool fresh =
         cfg_.mode == IncastConnectionMode::kFreshPerQuery || first;
     if (fresh) {
+      harvest();
       conns_.clear();
       for (sim::Host* w : workers_) {
         auto conn = std::make_unique<tcp::Connection>(net_, *w, aggregator_,
@@ -113,6 +122,11 @@ class IncastRunner {
     return total;
   }
 
+  void harvest() {
+    if (collector_ == nullptr) return;
+    for (const auto& c : conns_) collector_->record(c->flow_record());
+  }
+
   void on_flow_done(SimTime t) {
     if (--pending_ > 0) return;
     // Query complete: record, then tear down / relaunch from a fresh
@@ -130,6 +144,7 @@ class IncastRunner {
         next_query_start_ = t;
         launch_query(/*first=*/false);
       } else {
+        harvest();
         conns_.clear();
         if (on_done_) on_done_();
       }
@@ -151,6 +166,7 @@ class IncastRunner {
   std::uint64_t timeouts_ = 0;
   std::uint64_t timeouts_at_query_start_ = 0;
 
+  tcp::FlowMetricsCollector* collector_ = nullptr;
   stats::PercentileTracker completions_;
   std::vector<double> goodputs_;
   std::function<void()> on_done_;

@@ -13,6 +13,7 @@
 #include "sim/network.h"
 #include "stats/percentile.h"
 #include "tcp/connection.h"
+#include "tcp/flow_metrics.h"
 #include "util/rng.h"
 
 namespace dtdctcp::workload {
@@ -85,6 +86,12 @@ struct PoissonConfig {
   std::uint64_t seed = 5;
   std::int64_t small_cutoff_segments = 70;    ///< ~100 KB
   std::int64_t large_cutoff_segments = 670;   ///< ~1 MB
+
+  /// When > 0, every flow gets an absolute completion deadline of
+  /// arrival + `flow_deadline` (D2TCP-style; pair with CcMode::kD2tcp
+  /// so the sender acts on it — the met/missed accounting works for any
+  /// mode, which is how the deadline-blind baseline is measured).
+  SimTime flow_deadline = 0.0;
 };
 
 /// Arrival rate that offers `load` (0..1) of `capacity_bps` given the
@@ -109,6 +116,10 @@ class PoissonFlowGenerator {
   }
 
   void start(SimTime t0) { schedule_next(t0); }
+
+  /// Optional per-flow lifecycle sink: every completed flow's
+  /// FlowRecord is pushed into `c` (must outlive the simulation run).
+  void set_collector(tcp::FlowMetricsCollector* c) { collector_ = c; }
 
   std::size_t flows_started() const { return started_; }
   std::size_t flows_completed() const { return completed_; }
@@ -147,11 +158,16 @@ class PoissonFlowGenerator {
     }
     if (dst == src) return;  // degenerate host set
     const std::int64_t segs = cfg_.sizes.sample(rng_);
+    tcp::TcpConfig flow_cfg = tcp_cfg_;
+    if (cfg_.flow_deadline > 0.0) {
+      flow_cfg.deadline = now + cfg_.flow_deadline;
+    }
     auto conn =
-        std::make_unique<tcp::Connection>(net_, *src, *dst, tcp_cfg_, segs);
+        std::make_unique<tcp::Connection>(net_, *src, *dst, flow_cfg, segs);
     tcp::Connection* raw = conn.get();
     conn->set_on_complete([this, raw, segs, now](SimTime t) {
       record(segs, t - now);
+      if (collector_ != nullptr) collector_->record(raw->flow_record());
       reap(raw);
     });
     conn->start_at(now);
@@ -192,6 +208,7 @@ class PoissonFlowGenerator {
   PoissonConfig cfg_;
   Rng rng_;
 
+  tcp::FlowMetricsCollector* collector_ = nullptr;
   std::vector<std::unique_ptr<tcp::Connection>> live_;
   std::size_t started_ = 0;
   std::size_t completed_ = 0;

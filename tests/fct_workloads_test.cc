@@ -1,0 +1,166 @@
+// Tests for the FCT workload harness: determinism of the parallel
+// sweep (byte-identical formatted rows for any worker count), flow
+// lifecycle invariants under load, and D2TCP deadline accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runner/runner.h"
+#include "tcp/flow_metrics.h"
+#include "util/rng.h"
+#include "workload/fct_workloads.h"
+#include "workload/poisson_flows.h"
+
+namespace dtdctcp {
+namespace {
+
+std::vector<workload::FctWorkloadConfig> grid_configs() {
+  const workload::FctWorkloadKind kinds[] = {
+      workload::FctWorkloadKind::kWebSearch,
+      workload::FctWorkloadKind::kDataMining,
+      workload::FctWorkloadKind::kQueryBackground,
+  };
+  const workload::FctScheme schemes[] = {
+      workload::FctScheme::kDctcp,
+      workload::FctScheme::kDtLoop,
+      workload::FctScheme::kDtBand,
+  };
+  std::vector<workload::FctWorkloadConfig> cfgs;
+  for (std::size_t job = 0; job < 9; ++job) {
+    workload::FctWorkloadConfig cfg;
+    cfg.kind = kinds[job / 3];
+    cfg.scheme = schemes[job % 3];
+    cfg.duration = 0.08;  // short but enough for a handful of flows
+    cfg.seed = derive_seed(7, job);
+    cfgs.push_back(cfg);
+  }
+  return cfgs;
+}
+
+std::vector<std::string> run_grid(std::size_t workers) {
+  const auto cfgs = grid_configs();
+  runner::RunnerOptions opts;
+  opts.jobs = workers;
+  const auto results = runner::run_jobs(
+      cfgs.size(),
+      [&](std::size_t job) {
+        return workload::run_fct_workload(cfgs[job]);
+      },
+      opts);
+  std::vector<std::string> rows;
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    rows.push_back(workload::format_fct_row(cfgs[i], results[i]));
+  }
+  return rows;
+}
+
+// The guarantee the bench's stdout relies on: the formatted table rows
+// — everything the user sees — are byte-identical between the serial
+// path and a parallel run.
+TEST(FctWorkloads, SerialAndParallelRowsAreByteIdentical) {
+  const auto serial = run_grid(1);
+  const auto parallel = run_grid(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "row " << i << " diverged";
+  }
+  // And the runs did real work: at least one row saw completed flows.
+  bool any = false;
+  for (const auto& row : serial) {
+    if (row.find("|      0      0 |") == std::string::npos) any = true;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(FctWorkloads, ResultAndRegistryAgree) {
+  workload::FctWorkloadConfig cfg;
+  cfg.kind = workload::FctWorkloadKind::kQueryBackground;
+  cfg.scheme = workload::FctScheme::kDtLoop;
+  cfg.duration = 0.3;
+  cfg.seed = 11;
+  auto r = workload::run_fct_workload(cfg);
+  ASSERT_GT(r.flows_completed, 0u);
+  EXPECT_EQ(r.flows_started, r.flows_completed);  // open window closed
+  EXPECT_GT(r.fct_mean, 0.0);
+  EXPECT_GE(r.fct_p99, r.fct_p50);
+  EXPECT_GE(r.fct_max, r.fct_p99);
+  // The registry carried inside the result mirrors the scalar summary.
+  const std::string prefix = "fct.querybg.dt-loop";
+  EXPECT_EQ(r.metrics.counter(prefix + ".flows").value(),
+            r.flows_completed);
+  EXPECT_EQ(r.metrics.counter(prefix + ".timeouts").value(), r.timeouts);
+  EXPECT_EQ(r.metrics.counter(prefix + ".marks_seen").value(),
+            r.marks_seen);
+  EXPECT_DOUBLE_EQ(r.metrics.gauge(prefix + ".fct.p99").value(), r.fct_p99);
+  EXPECT_EQ(r.metrics.histogram(prefix + ".fct_hist").count(),
+            r.flows_completed);
+  // Switch-side accounting made it in too.
+  EXPECT_GT(r.metrics.counter(prefix + ".switch.sent_packets").value(), 0u);
+  EXPECT_GT(r.metrics.gauge(prefix + ".queue.pkts.max").value(), 0.0);
+  // DCTCP senders under hysteresis marking saw at least one ECN echo.
+  EXPECT_GT(r.marks_seen, 0u);
+}
+
+TEST(FctWorkloads, LifecycleInvariantsUnderLoad) {
+  // Drive the collector directly so the per-flow records are visible.
+  workload::FctWorkloadConfig cfg;
+  auto pr = workload::run_fct_workload(cfg);  // smoke the default config
+  ASSERT_GT(pr.flows_completed, 0u);
+
+  sim::Network net;
+  auto& sw = net.add_switch("sw");
+  auto& sink = net.add_host("sink");
+  const auto q = queue::drop_tail(0, 0);
+  net.attach_host(sink, sw, units::gbps(1), 25e-6, q,
+                  workload::fct_marking(workload::FctScheme::kDctcp, 250));
+  std::vector<sim::Host*> senders;
+  for (int i = 0; i < 4; ++i) {
+    auto& h = net.add_host("h" + std::to_string(i));
+    net.attach_host(h, sw, units::gbps(10), 25e-6, q, q);
+    senders.push_back(&h);
+  }
+  net.build_routes();
+
+  tcp::TcpConfig tcp_cfg;
+  tcp_cfg.min_rto = 0.01;
+  tcp_cfg.init_rto = 0.01;
+  workload::PoissonConfig pcfg;
+  pcfg.sizes = workload::query_background_sizes();
+  pcfg.arrivals_per_sec = 400.0;
+  pcfg.duration = 0.2;
+  pcfg.seed = 3;
+  tcp::FlowMetricsCollector col;
+  workload::PoissonFlowGenerator gen(net, senders, {&sink}, tcp_cfg, pcfg);
+  gen.set_collector(&col);
+  gen.start(0.0);
+  net.sim().run();
+
+  ASSERT_GT(col.flows(), 0u);
+  EXPECT_EQ(col.flows(), gen.flows_completed());
+  for (const auto& r : col.records()) {
+    EXPECT_GT(r.size_segments, 0);
+    EXPECT_LT(r.start, r.first_byte) << "flow " << r.flow;
+    EXPECT_LE(r.first_byte, r.completion) << "flow " << r.flow;
+    EXPECT_GT(r.fct(), 0.0);
+  }
+}
+
+TEST(FctWorkloads, DeadlineAccountingWithD2tcp) {
+  workload::FctWorkloadConfig cfg;
+  cfg.kind = workload::FctWorkloadKind::kQueryBackground;
+  cfg.duration = 0.3;
+  cfg.cc_mode = tcp::CcMode::kD2tcp;
+  cfg.flow_deadline = 0.005;  // tight: large flows will miss it
+  cfg.seed = 13;
+  auto r = workload::run_fct_workload(cfg);
+  ASSERT_GT(r.flows_completed, 0u);
+  // Every flow carried a deadline, and the verdicts partition them.
+  EXPECT_EQ(r.deadline_flows, r.flows_completed);
+  EXPECT_LE(r.deadline_missed, r.deadline_flows);
+  EXPECT_GT(r.deadline_missed, 0u);  // 700-segment flows cannot make 5 ms
+  EXPECT_LT(r.deadline_missed, r.deadline_flows);  // 2-segment flows do
+}
+
+}  // namespace
+}  // namespace dtdctcp

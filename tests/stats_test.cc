@@ -233,6 +233,98 @@ TEST(Oscillation, FlatTraceReportsZero) {
   EXPECT_EQ(est.cycles, 0u);
 }
 
+TEST(TimeWeighted, FinishOnNeverUpdatedTrackerIsNoOp) {
+  // Regression: finish() on a tracker that never saw update() used to
+  // feed the default current_ == 0.0 through update(), flipping the
+  // tracker non-empty and polluting min/max with a spurious 0.
+  stats::TimeWeighted tw;
+  tw.finish(5.0);
+  EXPECT_TRUE(tw.empty());
+  EXPECT_DOUBLE_EQ(tw.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(tw.min(), 0.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 0.0);
+  EXPECT_DOUBLE_EQ(tw.duration(), 0.0);
+  // A first update after the stray finish() starts a clean window: the
+  // statistics must cover [12, 13) at value 5, nothing else.
+  tw.update(12.0, 5.0);
+  tw.finish(13.0);
+  EXPECT_FALSE(tw.empty());
+  EXPECT_DOUBLE_EQ(tw.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(tw.min(), 5.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 5.0);
+  EXPECT_DOUBLE_EQ(tw.duration(), 1.0);
+}
+
+TEST(Oscillation, WindowStartingAboveMeanStillCounts) {
+  // Audit pin: a `from` that lands mid-cycle with the signal already
+  // above its mean must not fabricate or lose a crossing.
+  stats::TimeSeries t;
+  const double f = 77.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double time = i * 1e-4;
+    t.add(time, 40.0 + 10.0 * std::sin(2.0 * M_PI * f * time));
+  }
+  // 0.003 s is just past a quarter period of 77 Hz: first included
+  // sample sits near the sine peak, well above the window mean.
+  const auto est = stats::estimate_oscillation(t, 0.003);
+  EXPECT_NEAR(est.frequency_hz, f, 2.0);
+}
+
+TEST(Oscillation, ExactlyTwoUpwardCrossingsGiveOneCycle) {
+  // Minimal periodic trace: crossings up at t=1 and t=3 bound exactly
+  // one full cycle, so f = 1 / (3 - 1).
+  stats::TimeSeries t;
+  t.add(0.0, 0.0);
+  t.add(1.0, 10.0);
+  t.add(2.0, 0.0);
+  t.add(3.0, 10.0);
+  t.add(4.0, 0.0);
+  const auto est = stats::estimate_oscillation(t);
+  EXPECT_EQ(est.cycles, 1u);
+  EXPECT_DOUBLE_EQ(est.frequency_hz, 0.5);
+}
+
+TEST(Oscillation, FirstSampleAboveMeanIsNotACrossing) {
+  // Audit pin: the very first sample carries no "came from below"
+  // history; counting it as an upward crossing would inflate cycles.
+  stats::TimeSeries t;
+  t.add(0.0, 10.0);
+  t.add(1.0, 0.0);
+  t.add(2.0, 10.0);
+  t.add(3.0, 0.0);
+  t.add(4.0, 10.0);
+  const auto est = stats::estimate_oscillation(t);
+  EXPECT_EQ(est.cycles, 1u);  // crossings at t=2 and t=4 only
+  EXPECT_DOUBLE_EQ(est.frequency_hz, 0.5);
+}
+
+TEST(Percentile, EmptyIsZero) {
+  stats::PercentileTracker p;
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_DOUBLE_EQ(p.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(p.min(), 0.0);
+  EXPECT_DOUBLE_EQ(p.max(), 0.0);
+}
+
+TEST(Percentile, SingleSampleEveryPercentile) {
+  stats::PercentileTracker p;
+  p.add(7.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(p.percentile(37.0), 7.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100.0), 7.0);
+  EXPECT_DOUBLE_EQ(p.min(), 7.0);
+  EXPECT_DOUBLE_EQ(p.max(), 7.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 7.0);
+}
+
+TEST(Percentile, OutOfRangePercentilesClamp) {
+  stats::PercentileTracker p;
+  for (int i = 1; i <= 5; ++i) p.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p.percentile(-10.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(200.0), 5.0);
+}
+
 TEST(Oscillation, RespectsFromWindow) {
   stats::TimeSeries t;
   // Transient chirp first, then a clean 50 Hz tail.

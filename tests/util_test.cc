@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "stats/fairness.h"
 #include "util/csv.h"
@@ -177,6 +179,33 @@ TEST(Csv, NumericRow) {
   CsvWriter w(os);
   w.numeric_row({1.5, 2.0, 3.25});
   EXPECT_EQ(os.str(), "1.5,2,3.25\n");
+}
+
+TEST(Csv, NumericRowRoundTripsFullPrecision) {
+  // Regression: numeric_row used to format through %g with 6
+  // significant digits, so 0.1 + 0.2 exported as "0.3" and re-imported
+  // as a different double. format_double must emit the shortest
+  // representation that parses back bit-exact.
+  const std::vector<double> values = {0.1 + 0.2, 1e-9, 1.0 / 3.0,
+                                      12345678.90123, -2.5e300};
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.numeric_row(values);
+  std::string line = os.str();
+  ASSERT_FALSE(line.empty());
+  line.pop_back();  // trailing newline
+  std::istringstream in(line);
+  std::string field;
+  std::size_t i = 0;
+  while (std::getline(in, field, ',')) {
+    ASSERT_LT(i, values.size());
+    EXPECT_EQ(std::strtod(field.c_str(), nullptr), values[i])
+        << "field '" << field << "' did not round-trip";
+    ++i;
+  }
+  EXPECT_EQ(i, values.size());
+  EXPECT_EQ(os.str().substr(0, os.str().find(',')),
+            "0.30000000000000004");  // the canonical float-trivia value
 }
 
 TEST(Log, LevelGateWorks) {

@@ -1,18 +1,20 @@
 #!/usr/bin/env python3
-"""Merge google-benchmark JSON outputs and gate on pkts/s regressions.
+"""Merge google-benchmark JSON outputs and gate on metric regressions.
 
 Two subcommands:
 
   merge OUT IN [IN ...]
       Concatenates the "benchmarks" arrays of the inputs into OUT,
       keeping the first input's "context". Used by CI to fold
-      micro_simcore and micro_dataplane results into the single
-      BENCH_simcore.json artifact.
+      micro_simcore, micro_dataplane, and ext_fct_workloads results
+      into the single BENCH_simcore.json artifact.
 
   compare BASELINE CURRENT [--max-regression FRAC]
-      Compares every benchmark carrying a "pkts/s" counter (the
-      dumbbell end-to-end runs) that appears in both files. Exits
-      non-zero when any of them regressed by more than FRAC
+      Compares every benchmark carrying a gated metric that appears in
+      both files, honouring the metric's direction: "pkts/s"
+      (throughput, higher is better) fails on a drop, "p99_fct_s"
+      (tail flow-completion time, lower is better) fails on a rise.
+      Exits non-zero when any gated metric regressed by more than FRAC
       (default 0.10) relative to the baseline.
 
 Only the standard library is used.
@@ -21,6 +23,13 @@ Only the standard library is used.
 import argparse
 import json
 import sys
+
+# Gated metrics and their direction: "higher" means bigger is better
+# (throughput), "lower" means smaller is better (latency/FCT).
+GATED_METRICS = {
+    "pkts/s": "higher",
+    "p99_fct_s": "lower",
+}
 
 
 def load(path):
@@ -43,39 +52,45 @@ def cmd_merge(args):
     return 0
 
 
-def pkts_rates(doc):
-    """name -> pkts/s for every aggregate-free benchmark entry."""
-    rates = {}
+def gated_values(doc):
+    """(metric, benchmark name) -> value for every gated metric."""
+    vals = {}
     for b in doc.get("benchmarks", []):
         # Skip _mean/_stddev style aggregate rows; compare raw runs.
         if b.get("run_type") == "aggregate":
             continue
-        rate = b.get("pkts/s")
-        if rate is not None:
-            rates[b["name"]] = float(rate)
-    return rates
+        for metric in GATED_METRICS:
+            v = b.get(metric)
+            if v is not None:
+                vals[(metric, b["name"])] = float(v)
+    return vals
 
 
 def cmd_compare(args):
-    base = pkts_rates(load(args.baseline))
-    cur = pkts_rates(load(args.current))
+    base = gated_values(load(args.baseline))
+    cur = gated_values(load(args.current))
     common = sorted(set(base) & set(cur))
     if not common:
-        print("error: no common pkts/s benchmarks to compare", file=sys.stderr)
+        print("error: no common gated benchmarks to compare",
+              file=sys.stderr)
         return 2
     failed = False
-    for name in common:
-        ratio = cur[name] / base[name]
-        verdict = "ok"
-        if ratio < 1.0 - args.max_regression:
-            verdict = "REGRESSION"
-            failed = True
-        print(f"{name}: baseline {base[name]:.0f} pkts/s, "
-              f"current {cur[name]:.0f} pkts/s "
+    for metric, name in common:
+        key = (metric, name)
+        ratio = cur[key] / base[key]
+        if GATED_METRICS[metric] == "higher":
+            regressed = ratio < 1.0 - args.max_regression
+        else:
+            regressed = ratio > 1.0 + args.max_regression
+        verdict = "REGRESSION" if regressed else "ok"
+        failed = failed or regressed
+        print(f"{name}: baseline {base[key]:.6g} {metric}, "
+              f"current {cur[key]:.6g} {metric} "
               f"({(ratio - 1.0) * 100:+.1f}%) {verdict}")
     if failed:
-        print(f"fail: dumbbell pkts/s regressed more than "
-              f"{args.max_regression * 100:.0f}% vs baseline", file=sys.stderr)
+        print(f"fail: a gated metric regressed more than "
+              f"{args.max_regression * 100:.0f}% vs baseline",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -89,11 +104,12 @@ def main():
     p_merge.add_argument("inputs", nargs="+")
     p_merge.set_defaults(func=cmd_merge)
 
-    p_cmp = sub.add_parser("compare", help="gate on pkts/s regressions")
+    p_cmp = sub.add_parser("compare", help="gate on metric regressions")
     p_cmp.add_argument("baseline")
     p_cmp.add_argument("current")
     p_cmp.add_argument("--max-regression", type=float, default=0.10,
-                       help="maximum tolerated fractional drop (default 0.10)")
+                       help="maximum tolerated fractional regression "
+                            "(default 0.10)")
     p_cmp.set_defaults(func=cmd_compare)
 
     args = parser.parse_args()
