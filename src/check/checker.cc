@@ -38,6 +38,8 @@ const char* violation_kind_name(ViolationKind kind) {
     case ViolationKind::kEcnRule: return "ecn-rule";
     case ViolationKind::kCeCleared: return "ce-cleared";
     case ViolationKind::kDropLegality: return "drop-legality";
+    case ViolationKind::kPoolConservation: return "pool-conservation";
+    case ViolationKind::kPoolLegality: return "pool-legality";
     case ViolationKind::kTcpRange: return "tcp-range";
     case ViolationKind::kTcpAccounting: return "tcp-accounting";
     case ViolationKind::kPacket: return "packet";
@@ -121,11 +123,35 @@ void Checker::packet_sanity(const sim::Packet& pkt) {
 
 void Checker::classify(const sim::QueueDisc* d, QueueState& qs) {
   RuleModel& r = qs.rule;
+  bool pool_ecn = false;
   if (const auto* f = dynamic_cast<const queue::FifoBase*>(d)) {
     r.fifo = true;
-    r.pooled = f->shared_pool() != nullptr;
     r.limit_bytes = f->limit_bytes();
     r.limit_packets = f->limit_packets();
+    pool_ecn = f->shared_pool() != nullptr &&
+               f->ecn_source() != queue::EcnOccupancySource::kPortQueue;
+  }
+  if (const auto* c = dynamic_cast<const sim::SharedBufferClient*>(d)) {
+    if (c->shared_pool() != nullptr) {
+      r.pool = c->shared_pool();
+      r.pool_port = c->pool_port();
+      const sim::PortShare share = r.pool->share(r.pool_port);
+      r.pool_alpha = share.alpha;
+      r.pool_headroom = share.headroom_bytes;
+      // First contact with this pool: whatever it holds that tracked
+      // discs do not account for becomes the fixed base. Discs seen
+      // mid-run make the split unknowable; skip pool checks then.
+      auto [pit, inserted] = pools_.try_emplace(r.pool);
+      if (inserted) {
+        std::uint64_t known = 0;
+        for (const auto& [od, oqs] : queues_) {
+          if (oqs.rule.pool == r.pool) known += oqs.shadow_bytes;
+        }
+        const std::uint64_t pool_used = r.pool->used();
+        pit->second.base = pool_used >= known ? pool_used - known : 0;
+      }
+      if (!qs.synced) pit->second.valid = false;
+    }
   }
   if (const auto* t = dynamic_cast<const queue::EcnThresholdQueue*>(d)) {
     r.type = RuleModel::kThreshold;
@@ -142,6 +168,10 @@ void Checker::classify(const sim::QueueDisc* d, QueueState& qs) {
   } else if (dynamic_cast<const queue::DropTailQueue*>(d) != nullptr) {
     r.type = RuleModel::kDropTail;
   }
+  // Pool-coupled ECN reads shared occupancy the shadow rule models
+  // (which track port depth) cannot judge; demote to unmodelled. Pool
+  // conservation and DT legality still apply.
+  if (pool_ecn) r.type = RuleModel::kOther;
 }
 
 Checker::QueueState& Checker::state_for(const sim::QueueDisc* d) {
@@ -232,6 +262,121 @@ void Checker::cross_check_counters(const sim::QueueDisc* d, QueueState& qs) {
                  static_cast<unsigned long long>(mark_delta),
                  static_cast<unsigned long long>(qs.expected_marks)));
     }
+  }
+}
+
+namespace {
+/// Mirror of SharedBufferPool::would_admit, recomputed from the
+/// checker's shadow state (not the pool's own books): physical fit,
+/// carve-out of other ports' unused guarantees, then the dynamic
+/// threshold on the port's shared-region usage.
+bool shadow_pool_admit(std::uint64_t cap, std::uint64_t pool_used,
+                       std::uint64_t port_used, std::uint64_t bytes,
+                       std::uint64_t headroom, double alpha,
+                       std::uint64_t total_headroom,
+                       std::uint64_t guaranteed_used) {
+  if (cap == 0) return true;  // unlimited pool
+  if (pool_used > cap || bytes > cap - pool_used) return false;
+  const std::uint64_t in_reserve_before =
+      std::min<std::uint64_t>(port_used, headroom);
+  const std::uint64_t in_reserve_after =
+      std::min<std::uint64_t>(port_used + bytes, headroom);
+  const std::uint64_t guaranteed_after =
+      guaranteed_used - in_reserve_before + in_reserve_after;
+  // Mirrors SharedBufferPool::shared_capacity(): saturate at 0 when the
+  // headrooms oversubscribe the capacity.
+  const std::uint64_t shared_cap = cap > total_headroom ? cap - total_headroom : 0;
+  if (pool_used + bytes - guaranteed_after > shared_cap) return false;
+  if (port_used + bytes <= headroom) return true;
+  if (alpha > 0.0) {
+    const std::uint64_t port_shared = port_used - in_reserve_before;
+    if (static_cast<double>(port_shared) >=
+        alpha * static_cast<double>(cap - pool_used)) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+bool Checker::sum_pool_shadow(const sim::SharedBufferPool* pool,
+                              std::uint64_t* sum) const {
+  std::uint64_t s = 0;
+  for (const auto& [od, oqs] : queues_) {
+    if (oqs.rule.pool != pool) continue;
+    if (!oqs.synced) {
+      pools_[pool].valid = false;
+      return false;
+    }
+    s += oqs.shadow_bytes;
+  }
+  *sum = s;
+  return true;
+}
+
+void Checker::cross_check_pool(const QueueState& qs) {
+  const sim::SharedBufferPool* pool = qs.rule.pool;
+  if (pool == nullptr) return;
+  auto pit = pools_.find(pool);
+  if (pit == pools_.end() || !pit->second.valid) return;
+  std::uint64_t sum = 0;
+  if (!sum_pool_shadow(pool, &sum)) return;
+  const std::uint64_t expected = pit->second.base + sum;
+  if (pool->used() != expected) {
+    report(ViolationKind::kPoolConservation,
+           fmt("shared pool %p holds %zu bytes but member queues account "
+               "for %llu (base %llu)",
+               static_cast<const void*>(pool), pool->used(),
+               static_cast<unsigned long long>(expected),
+               static_cast<unsigned long long>(pit->second.base)));
+  }
+}
+
+void Checker::check_pool_legality(const sim::QueueDisc* d,
+                                  const QueueState& qs, std::uint64_t pkt_uid,
+                                  std::uint32_t pkt_bytes, bool admitted) {
+  const RuleModel& r = qs.rule;
+  if (r.pool == nullptr || !qs.synced) return;
+  auto pit = pools_.find(r.pool);
+  if (pit == pools_.end() || !pit->second.valid) return;
+  std::uint64_t sum = 0;
+  if (!sum_pool_shadow(r.pool, &sum)) return;
+
+  // Reconstruct the pre-decision state; an admitted packet is already
+  // in this disc's shadow and in the pool.
+  std::uint64_t pool_used = pit->second.base + sum;
+  std::uint64_t port_used = qs.shadow_bytes;
+  if (admitted) {
+    pool_used -= pkt_bytes;
+    port_used -= pkt_bytes;
+  }
+  std::uint64_t guaranteed = 0;
+  for (const auto& [od, oqs] : queues_) {
+    if (oqs.rule.pool != r.pool) continue;
+    const std::uint64_t u = od == d ? port_used : oqs.shadow_bytes;
+    guaranteed += std::min<std::uint64_t>(u, oqs.rule.pool_headroom);
+  }
+  const bool admit = shadow_pool_admit(
+      r.pool->capacity(), pool_used, port_used, pkt_bytes, r.pool_headroom,
+      r.pool_alpha, r.pool->reserved_headroom(), guaranteed);
+  if (admitted && !admit) {
+    report(ViolationKind::kPoolLegality,
+           fmt("uid=%llu admitted although the DT policy rejects it "
+               "(port %zu: %llu B used, alpha=%g headroom=%llu; pool %llu "
+               "of %zu B)",
+               static_cast<unsigned long long>(pkt_uid), r.pool_port,
+               static_cast<unsigned long long>(port_used), r.pool_alpha,
+               static_cast<unsigned long long>(r.pool_headroom),
+               static_cast<unsigned long long>(pool_used),
+               r.pool->capacity()));
+  } else if (!admitted && admit) {
+    report(ViolationKind::kDropLegality,
+           fmt("uid=%llu dropped although both the port limits and the DT "
+               "policy admit it (port %zu: %llu B used; pool %llu of %zu B)",
+               static_cast<unsigned long long>(pkt_uid), r.pool_port,
+               static_cast<unsigned long long>(port_used),
+               static_cast<unsigned long long>(pool_used),
+               r.pool->capacity()));
   }
 }
 
@@ -345,8 +490,10 @@ void Checker::queue_enqueued(const sim::QueueDisc* d, const sim::Packet& pkt,
     }
   }
 
+  check_pool_legality(d, qs, pkt.uid, pkt.size_bytes, /*admitted=*/true);
   cross_check_occupancy(d, qs);
   cross_check_counters(d, qs);
+  cross_check_pool(qs);
 }
 
 void Checker::queue_rejected(const sim::QueueDisc* d, const sim::Packet& pkt,
@@ -368,27 +515,34 @@ void Checker::queue_rejected(const sim::QueueDisc* d, const sim::Packet& pkt,
   ++qs.drops;
   terminate(pkt.uid, &dropped_);
 
-  // Disciplines without early drop or a shared pool may only reject on
-  // a configured limit; anything else is a phantom drop.
+  // Disciplines without early drop may only reject on a configured
+  // limit or (when pooled) a DT-policy refusal; anything else is a
+  // phantom drop.
   const RuleModel& r = qs.rule;
-  if (have_offer && qs.synced && r.fifo && !r.pooled &&
-      r.type != RuleModel::kOther) {
+  if (have_offer && qs.synced && r.fifo && r.type != RuleModel::kOther) {
     const bool over_bytes =
         r.limit_bytes != 0 &&
         offer.prior_bytes + pkt.size_bytes > r.limit_bytes;
     const bool over_packets =
         r.limit_packets != 0 && offer.prior_pkts + 1 > r.limit_packets;
     if (!over_bytes && !over_packets) {
-      report(ViolationKind::kDropLegality,
-             fmt("uid=%llu dropped at %zu pkts / %zu B with limits "
-                 "%zu pkts / %zu B",
-                 static_cast<unsigned long long>(pkt.uid), offer.prior_pkts,
-                 offer.prior_bytes, r.limit_packets, r.limit_bytes));
+      if (r.pool != nullptr) {
+        // Limits do not explain the drop; the DT policy must.
+        check_pool_legality(d, qs, pkt.uid, pkt.size_bytes,
+                            /*admitted=*/false);
+      } else {
+        report(ViolationKind::kDropLegality,
+               fmt("uid=%llu dropped at %zu pkts / %zu B with limits "
+                   "%zu pkts / %zu B",
+                   static_cast<unsigned long long>(pkt.uid), offer.prior_pkts,
+                   offer.prior_bytes, r.limit_packets, r.limit_bytes));
+      }
     }
   }
 
   cross_check_occupancy(d, qs);
   cross_check_counters(d, qs);
+  cross_check_pool(qs);
 }
 
 void Checker::queue_discarded(const sim::QueueDisc* d, const sim::Packet& pkt,
@@ -417,6 +571,7 @@ void Checker::queue_discarded(const sim::QueueDisc* d, const sim::Packet& pkt,
 
   cross_check_occupancy(d, qs);
   cross_check_counters(d, qs);
+  cross_check_pool(qs);
 }
 
 void Checker::queue_dequeued(const sim::QueueDisc* d, const sim::Packet& pkt,
@@ -504,6 +659,7 @@ void Checker::queue_dequeued(const sim::QueueDisc* d, const sim::Packet& pkt,
 
   cross_check_occupancy(d, qs);
   cross_check_counters(d, qs);
+  cross_check_pool(qs);
 }
 
 void Checker::queue_bypassed(const sim::QueueDisc* d, sim::Packet& pkt,

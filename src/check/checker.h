@@ -50,6 +50,8 @@ enum class ViolationKind : std::uint8_t {
   kEcnRule,        ///< CE decision contradicts the configured marking rule
   kCeCleared,      ///< a CE mark disappeared from a queued packet
   kDropLegality,   ///< a drop the configured limits cannot explain
+  kPoolConservation,  ///< shared-pool used() != sum of member occupancies
+  kPoolLegality,   ///< an admission the DT shared-buffer policy forbids
   kTcpRange,       ///< cwnd/alpha/ssthresh out of bounds
   kTcpAccounting,  ///< receiver byte/segment accounting broken
   kPacket,         ///< malformed packet (zero size, CE without ECT)
@@ -161,9 +163,15 @@ class Checker final : public Hooks {
     Type type = kOther;
     // FifoBase limits (drop legality); 0 = unlimited.
     bool fifo = false;
-    bool pooled = false;
     std::size_t limit_bytes = 0;
     std::size_t limit_packets = 0;
+    // Shared-buffer binding (pool conservation and DT legality). The
+    // pool pointer is configuration discovered at registration; all
+    // dynamic pool state is recomputed from the shadow queues.
+    const sim::SharedBufferPool* pool = nullptr;
+    std::size_t pool_port = 0;
+    double pool_alpha = 0.0;
+    std::uint64_t pool_headroom = 0;
     // Threshold rule.
     double k = 0.0;
     queue::ThresholdUnit unit = queue::ThresholdUnit::kPackets;
@@ -212,6 +220,20 @@ class Checker final : public Hooks {
   void cross_check_occupancy(const sim::QueueDisc* d, QueueState& qs);
   void cross_check_counters(const sim::QueueDisc* d, QueueState& qs);
 
+  /// Shared-pool byte conservation: pool->used() must equal the
+  /// unattributed base plus the sum of member shadow occupancies.
+  void cross_check_pool(const QueueState& qs);
+  /// DT admission/rejection legality, re-deriving the pool's decision
+  /// from shadow state. `admitted`: the event being judged; for
+  /// admissions `pkt_bytes` was already added to this disc's shadow.
+  void check_pool_legality(const sim::QueueDisc* d, const QueueState& qs,
+                           std::uint64_t pkt_uid, std::uint32_t pkt_bytes,
+                           bool admitted);
+  /// Sums member shadow bytes for `pool`; false (and invalidates the
+  /// pool) when any member is unsynced.
+  bool sum_pool_shadow(const sim::SharedBufferPool* pool,
+                       std::uint64_t* sum) const;
+
   CheckConfig cfg_;
   std::vector<Violation> violations_;
   std::uint64_t violation_count_ = 0;
@@ -219,6 +241,14 @@ class Checker final : public Hooks {
   SimTime last_time_ = 0.0;
 
   std::unordered_map<const sim::QueueDisc*, QueueState> queues_;
+  /// Per-pool audit state. `base` is the pool usage present at first
+  /// registration that no tracked disc accounts for; `valid` drops to
+  /// false (checks skipped) when a member disc was seen mid-run.
+  struct PoolRec {
+    std::uint64_t base = 0;
+    bool valid = true;
+  };
+  mutable std::unordered_map<const sim::SharedBufferPool*, PoolRec> pools_;
   std::unordered_map<std::uint64_t, LiveRec> live_;
   std::uint64_t next_uid_ = 1;
   std::uint64_t injected_ = 0;

@@ -80,6 +80,9 @@ tcp::TcpConfig make_tcp(const FuzzScenario& sc) {
 /// Everything a running scenario owns, destroyed (hooks firing) while
 /// the CheckScope is still installed.
 struct Rig {
+  // The pool must be declared first: queues release their backlog into
+  // it from their destructors when the network is torn down.
+  std::unique_ptr<sim::SharedBufferPool> pool;
   std::unique_ptr<sim::Network> owned_net;  ///< dumbbell / incast
   sim::LeafSpine fabric;                    ///< leaf-spine (owns its net)
   sim::Network* net = nullptr;
@@ -131,13 +134,39 @@ Rig build_rig(const FuzzScenario& sc) {
   const SimTime leg = units::microseconds(sc.rtt_us) / 4.0;
   sim::Switch& sw = rig.net->add_switch("sw0");
   sim::Host& sink = rig.net->add_host("sink");
+
+  // Optionally put every switch egress queue (the bottleneck toward the
+  // sink plus the ACK-return ports toward each sender) on one shared
+  // DT-managed buffer pool. Host-side queues stay unpooled: they model
+  // NIC transmit rings, not switch memory.
+  sim::QueueFactory bneck_disc = make_disc(sc);
+  sim::QueueFactory sw_edge = edge_queue;
+  if (sc.pool_capacity_packets > 0) {
+    constexpr std::size_t kMtu = 1500;
+    rig.pool = std::make_unique<sim::SharedBufferPool>(
+        sc.pool_capacity_packets * kMtu);
+    const std::size_t n_ports = static_cast<std::size_t>(sc.flows) + 1;
+    sim::PortShare share;
+    share.alpha = sc.pool_alpha;
+    // Clamp so the summed guarantees always fit the pool, however many
+    // ports the scenario drew.
+    share.headroom_bytes =
+        std::min(sc.pool_headroom_packets, sc.pool_capacity_packets / n_ports) *
+        kMtu;
+    const auto src = sc.pool_ecn ? queue::EcnOccupancySource::kSharedPool
+                                 : queue::EcnOccupancySource::kPortQueue;
+    bneck_disc = queue::pooled(std::move(bneck_disc), *rig.pool, share, src,
+                               static_cast<double>(kMtu));
+    sw_edge = queue::pooled(sw_edge, *rig.pool, share);
+  }
+
   rig.net->attach_host(sink, sw, units::gbps(sc.bottleneck_gbps), leg,
-                       edge_queue, make_disc(sc));
+                       edge_queue, bneck_disc);
   std::vector<sim::Host*> senders;
   for (int i = 0; i < sc.flows; ++i) {
     sim::Host& h = rig.net->add_host("sender" + std::to_string(i));
     rig.net->attach_host(h, sw, units::gbps(sc.edge_gbps), leg, edge_queue,
-                         edge_queue);
+                         sw_edge);
     senders.push_back(&h);
   }
   rig.net->build_routes();
@@ -189,7 +218,7 @@ const char* fuzz_disc_name(FuzzDisc d) {
 }
 
 std::string FuzzScenario::describe() const {
-  return fmt_line(
+  std::string line = fmt_line(
       "seed=%llu %s/%s flows=%d segs=%lld bneck=%.0fG rtt=%.0fus buf=%zu "
       "k1=%.0f k2=%.0f%s var=%d mode=%d%s%s%s",
       static_cast<unsigned long long>(seed), fuzz_topology_name(topology),
@@ -198,6 +227,12 @@ std::string FuzzScenario::describe() const {
       buffer_packets, k1, k2, byte_unit ? "B" : "p", hysteresis_variant,
       tcp_mode, sack ? " sack" : "", pacing ? " pacing" : "",
       delayed_ack ? " delack" : "");
+  if (pool_capacity_packets > 0) {
+    line += fmt_line(" pool=%zu a=%.1f hr=%zu%s", pool_capacity_packets,
+                     pool_alpha, pool_headroom_packets,
+                     pool_ecn ? " poolecn" : "");
+  }
+  return line;
 }
 
 std::string FuzzScenario::repro_command() const {
@@ -264,6 +299,19 @@ FuzzScenario generate_scenario(std::uint64_t seed) {
   sc.delayed_ack = rng.bernoulli(0.3);
   sc.start_spread_us = incast ? rng.uniform(0.0, 20.0)
                               : rng.uniform(0.0, 1000.0);
+
+  // Shared-buffer pool draws come last so earlier dimensions of a given
+  // seed are unchanged from pre-pool builds. Leaf-spine rigs ignore the
+  // pool fields (build_rig keeps their per-port limits).
+  if (rng.bernoulli(0.4)) {
+    sc.pool_capacity_packets =
+        static_cast<std::size_t>(rng.uniform_int(16, 128));
+    const double ap = rng.uniform(0.0, 1.0);
+    sc.pool_alpha = ap < 0.25 ? 0.0 : ap < 0.5 ? 0.5 : ap < 0.8 ? 1.0 : 2.0;
+    sc.pool_headroom_packets =
+        static_cast<std::size_t>(rng.uniform_int(0, 4));
+    sc.pool_ecn = rng.bernoulli(0.25);
+  }
   return sc;
 }
 

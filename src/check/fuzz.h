@@ -55,6 +55,13 @@ struct FuzzScenario {
   double start_spread_us = 500.0;     ///< sender start-time stagger
   double sim_cap_s = 30.0;            ///< virtual-time safety cap
 
+  // Shared-buffer pool (dumbbell / incast only; leaf-spine keeps
+  // per-port limits). 0 capacity = no pool.
+  std::size_t pool_capacity_packets = 0;  ///< pool size (MTU packets)
+  double pool_alpha = 0.0;                ///< DT alpha; 0 = static carve
+  std::size_t pool_headroom_packets = 0;  ///< guaranteed per-port reserve
+  bool pool_ecn = false;                  ///< ECN from shared occupancy
+
   /// One-line human-readable summary.
   std::string describe() const;
   /// Copy-pasteable `sim_fuzz` invocation reproducing this scenario:

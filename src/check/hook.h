@@ -55,6 +55,8 @@ enum class Fault : std::uint8_t {
   kSpuriousMark,    ///< FifoBase sets CE although the discipline did not
   kLostDelivery,    ///< Host::receive silently discards a packet
   kAlphaRange,      ///< TcpSender's alpha estimate leaves [0, 1]
+  kPoolLeak,        ///< FifoBase dequeue skips the shared-pool release
+  kPoolOverAdmit,   ///< FifoBase admits a packet the DT pool rejected
 };
 
 inline const char* fault_name(Fault f) {
@@ -66,6 +68,8 @@ inline const char* fault_name(Fault f) {
     case Fault::kSpuriousMark: return "spurious-mark";
     case Fault::kLostDelivery: return "lost-delivery";
     case Fault::kAlphaRange: return "alpha-range";
+    case Fault::kPoolLeak: return "pool-leak";
+    case Fault::kPoolOverAdmit: return "pool-overadmit";
   }
   return "?";
 }

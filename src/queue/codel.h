@@ -17,11 +17,13 @@
 // sim::Packet for every other queue in the network.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <utility>
 
 #include "sim/queue_disc.h"
+#include "sim/shared_buffer.h"
 #include "util/ring_buffer.h"
 
 namespace dtdctcp::queue {
@@ -31,20 +33,40 @@ struct CodelConfig {
   SimTime interval = 500e-6;  ///< sliding window to detect persistence
 };
 
-class CodelQueue final : public sim::QueueDisc {
+class CodelQueue final : public sim::QueueDisc, public sim::SharedBufferClient {
  public:
   CodelQueue(std::size_t limit_bytes, std::size_t limit_packets,
              CodelConfig cfg)
       : limit_bytes_(limit_bytes), limit_packets_(limit_packets), cfg_(cfg) {}
 
+  ~CodelQueue() override {
+    if (pool_ != nullptr && bytes_ > 0) {
+      pool_->release(port_, std::min(bytes_, pool_->port_used(port_)));
+    }
+  }
+
   std::size_t packets() const override { return q_.size(); }
   std::size_t bytes() const override { return bytes_; }
   bool dropping_state() const { return dropping_; }
+
+  /// Charges this queue's occupancy against a switch-wide shared memory
+  /// pool, same contract as FifoBase::set_shared_pool.
+  void set_shared_pool(sim::SharedBufferPool* pool,
+                       sim::PortShare share = {}) {
+    pool_ = pool;
+    if (pool_ != nullptr) port_ = pool_->add_port(share);
+  }
+  sim::SharedBufferPool* shared_pool() const override { return pool_; }
+  std::size_t pool_port() const override { return port_; }
 
  protected:
   sim::EnqueueResult do_enqueue(sim::Packet& pkt, SimTime now) override {
     if ((limit_bytes_ != 0 && bytes_ + pkt.size_bytes > limit_bytes_) ||
         (limit_packets_ != 0 && q_.size() + 1 > limit_packets_)) {
+      count_drop();
+      return sim::EnqueueResult::kDropped;
+    }
+    if (pool_ != nullptr && !pool_->try_reserve(port_, pkt.size_bytes)) {
       count_drop();
       return sim::EnqueueResult::kDropped;
     }
@@ -102,6 +124,7 @@ class CodelQueue final : public sim::QueueDisc {
     out = q_.front().pkt;
     q_.pop_front();
     bytes_ -= out.size_bytes;
+    if (pool_ != nullptr) pool_->release(port_, out.size_bytes);
     notify(now, q_.size(), bytes_);
   }
 
@@ -139,6 +162,8 @@ class CodelQueue final : public sim::QueueDisc {
   std::size_t limit_bytes_;
   std::size_t limit_packets_;
   CodelConfig cfg_;
+  sim::SharedBufferPool* pool_ = nullptr;
+  std::size_t port_ = 0;
   util::RingBuffer<Stamped> q_;
   std::size_t bytes_ = 0;
 

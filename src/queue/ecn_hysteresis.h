@@ -25,6 +25,27 @@
 //    is inside [K1, K2), all packets at or above K2. This reads the
 //    paper's two thresholds as a graduated marking band (RED-like ramp
 //    at 50% intensity) rather than a stateful loop.
+//
+// Reset semantics across excursions (audited, intended, and pinned by
+// tests/queue_test.cc re-entry tests — do not "fix" without re-gating
+// the byte-identical fig10/fig11 kernels):
+//
+//  * kTrendPeak: `trough_` is NOT a global minimum. It re-anchors to
+//    the current occupancy every time marking stops (including the
+//    initial state, occupancy 0), and only then ratchets downward until
+//    the next start. The "rising" gate `q >= trough_ + margin` is
+//    therefore relative to the most recent descent, exactly what the
+//    trend detector wants: after a full drain trough_ is ~0 and a fresh
+//    K1 crossing (which needs q >= K1 >= margin) trivially satisfies
+//    it. The gate's real work is during shallow dips that never stop
+//    marking — and those keep their own recent trough.
+//  * kHalfBand: `band_toggle_` deliberately carries across excursions
+//    and full drains. The band rule is a stateless-in-occupancy 50%
+//    duty cycle; preserving parity keeps the long-run marked fraction
+//    of in-band arrivals exactly 1/2 regardless of how arrivals are
+//    grouped into excursions. Resetting at each band entry would bias
+//    odd-length excursions toward over-marking (ceil(n/2) marks every
+//    time, never floor).
 #pragma once
 
 #include <algorithm>

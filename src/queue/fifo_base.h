@@ -9,8 +9,19 @@
 // one contiguous allocation, mask-indexed, growing only when a new
 // occupancy high-water mark is reached — the steady-state enqueue/
 // dequeue cycle of a packet queue touches no allocator at all.
+//
+// Shared-memory switches: a queue optionally charges its bytes against
+// a sim::SharedBufferPool (dynamic-threshold admission; see
+// sim/shared_buffer.h). The pool reservation happens before the
+// discipline's own admission hook, so a pool-rejected packet is never
+// ECN-marked and the mark counters stay consistent with admitted
+// traffic. Marking disciplines can additionally read the *shared*
+// occupancy instead of (or joined with) the per-port depth via
+// set_ecn_source, expressing DCTCP/DT-DCTCP thresholds against the
+// pool.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 
@@ -22,7 +33,14 @@ namespace dtdctcp::queue {
 
 enum class ThresholdUnit { kPackets, kBytes };
 
-class FifoBase : public sim::QueueDisc {
+/// What occupancy a marking discipline's threshold compares against.
+enum class EcnOccupancySource {
+  kPortQueue,   ///< this queue's own depth (the default)
+  kSharedPool,  ///< the shared pool's total occupancy
+  kMaxOfBoth,   ///< max(port, pool): marks on either congestion signal
+};
+
+class FifoBase : public sim::QueueDisc, public sim::SharedBufferClient {
  public:
   /// `limit_bytes` / `limit_packets`: buffer capacity; 0 means unlimited
   /// in that unit. A packet is dropped when admitting it would exceed
@@ -30,15 +48,41 @@ class FifoBase : public sim::QueueDisc {
   FifoBase(std::size_t limit_bytes, std::size_t limit_packets)
       : limit_bytes_(limit_bytes), limit_packets_(limit_packets) {}
 
+  ~FifoBase() override {
+    // Return any still-buffered bytes to the pool (network teardown
+    // with packets queued). Clamped: a deliberately corrupted run
+    // (occupancy-leak fault injection) may have drifted bytes_ past the
+    // pool's records.
+    if (pool_ != nullptr && bytes_ > 0) {
+      pool_->release(port_, std::min(bytes_, pool_->port_used(port_)));
+    }
+  }
+
   std::size_t packets() const final { return q_.size(); }
   std::size_t bytes() const final { return bytes_; }
 
   /// Charges this queue's occupancy against a switch-wide shared memory
-  /// pool (see sim/shared_buffer.h). Set before any traffic; the pool
-  /// must outlive the queue.
-  void set_shared_pool(sim::SharedBufferPool* pool) { pool_ = pool; }
+  /// pool (see sim/shared_buffer.h), registering a port with the given
+  /// DT share. Set before any traffic; the pool must outlive the queue.
+  void set_shared_pool(sim::SharedBufferPool* pool,
+                       sim::PortShare share = {}) {
+    pool_ = pool;
+    if (pool_ != nullptr) port_ = pool_->add_port(share);
+  }
 
-  sim::SharedBufferPool* shared_pool() const { return pool_; }
+  sim::SharedBufferPool* shared_pool() const override { return pool_; }
+  std::size_t pool_port() const override { return port_; }
+
+  /// Selects what occupancy() reports to the marking discipline. For
+  /// kPackets thresholds the pool's byte count is converted at
+  /// `pool_packet_bytes` per packet. No-op without a pool.
+  void set_ecn_source(EcnOccupancySource src,
+                      double pool_packet_bytes = 1500.0) {
+    ecn_source_ = src;
+    pool_packet_bytes_ = pool_packet_bytes;
+  }
+  EcnOccupancySource ecn_source() const { return ecn_source_; }
+
   std::size_t limit_bytes() const { return limit_bytes_; }
   std::size_t limit_packets() const { return limit_packets_; }
 
@@ -49,14 +93,20 @@ class FifoBase : public sim::QueueDisc {
       trace("drop", pkt, now);
       return sim::EnqueueResult::kDropped;
     }
+    if (pool_ != nullptr && !pool_->try_reserve(port_, pkt.size_bytes)) {
+      // Shared switch memory: the DT policy rejected this port's claim
+      // (pool exhausted, or the port is over its dynamic threshold).
+      if (DTDCTCP_CHECK_INJECT(kPoolOverAdmit)) {
+        pool_->force_reserve(port_, pkt.size_bytes);
+      } else {
+        count_drop();
+        trace("drop", pkt, now);
+        return sim::EnqueueResult::kDropped;
+      }
+    }
     const bool ce_on_arrival = pkt.ce;
     if (!before_admit(pkt, now)) {  // early drop (RED in drop mode)
-      count_drop();
-      trace("drop", pkt, now);
-      return sim::EnqueueResult::kDropped;
-    }
-    if (pool_ != nullptr && !pool_->try_reserve(pkt.size_bytes)) {
-      // Shared switch memory exhausted by this and/or other ports.
+      if (pool_ != nullptr) pool_->release(port_, pkt.size_bytes);
       count_drop();
       trace("drop", pkt, now);
       return sim::EnqueueResult::kDropped;
@@ -86,7 +136,9 @@ class FifoBase : public sim::QueueDisc {
     out = q_.front();
     q_.pop_front();
     bytes_ -= out.size_bytes;
-    if (pool_ != nullptr) pool_->release(out.size_bytes);
+    if (pool_ != nullptr && !DTDCTCP_CHECK_INJECT(kPoolLeak)) {
+      pool_->release(port_, out.size_bytes);
+    }
     const bool ce_before = out.ce;
     on_occupancy_change(now, /*grew=*/false);
     after_dequeue(out, now);  // may mark (dequeue-marking disciplines)
@@ -127,10 +179,23 @@ class FifoBase : public sim::QueueDisc {
     (void)grew;
   }
 
-  /// Current occupancy in the given unit.
+  /// Current occupancy in the given unit, drawn from the configured ECN
+  /// source. With a pool-coupled source the arriving packet's own pool
+  /// charge is already visible (the reservation precedes admission).
   double occupancy(ThresholdUnit unit) const {
-    return unit == ThresholdUnit::kPackets ? static_cast<double>(q_.size())
-                                           : static_cast<double>(bytes_);
+    const double port_q = unit == ThresholdUnit::kPackets
+                              ? static_cast<double>(q_.size())
+                              : static_cast<double>(bytes_);
+    if (ecn_source_ == EcnOccupancySource::kPortQueue || pool_ == nullptr) {
+      return port_q;
+    }
+    const double pool_bytes = static_cast<double>(pool_->used());
+    const double pool_q = unit == ThresholdUnit::kPackets
+                              ? pool_bytes / pool_packet_bytes_
+                              : pool_bytes;
+    return ecn_source_ == EcnOccupancySource::kSharedPool
+               ? pool_q
+               : std::max(port_q, pool_q);
   }
 
  private:
@@ -143,6 +208,9 @@ class FifoBase : public sim::QueueDisc {
   std::size_t limit_bytes_;
   std::size_t limit_packets_;
   sim::SharedBufferPool* pool_ = nullptr;
+  std::size_t port_ = 0;
+  EcnOccupancySource ecn_source_ = EcnOccupancySource::kPortQueue;
+  double pool_packet_bytes_ = 1500.0;
   util::RingBuffer<sim::Packet> q_;
   std::size_t bytes_ = 0;
 };

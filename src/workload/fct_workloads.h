@@ -18,12 +18,17 @@
 // output" is pinned at the formatting layer.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "queue/factory.h"
+#include "queue/pie.h"
 #include "sim/counters.h"
 #include "sim/network.h"
 #include "sim/queue_monitor.h"
@@ -41,9 +46,12 @@ enum class FctWorkloadKind { kWebSearch, kDataMining, kQueryBackground };
 
 /// Which marking scheme runs on the bottleneck egress.
 enum class FctScheme {
-  kDctcp,   ///< single threshold K = 20 pkts
-  kDtLoop,  ///< hysteresis K1 = 15 / K2 = 25, trend-peak loop (DT-DCTCP)
-  kDtBand,  ///< hysteresis K1 = 15 / K2 = 25, half-band stop rule
+  kDctcp,    ///< single threshold K = 20 pkts
+  kDtLoop,   ///< hysteresis K1 = 15 / K2 = 25, trend-peak loop (DT-DCTCP)
+  kDtBand,   ///< hysteresis K1 = 15 / K2 = 25, half-band stop rule
+  kDropTail, ///< no marking, loss-only (buffer-sizing baseline)
+  kCodel,    ///< sojourn-time AQM, default datacenter CoDel config
+  kPie,      ///< PI-controller AQM, default datacenter PIE config
 };
 
 inline const char* fct_workload_name(FctWorkloadKind k) {
@@ -60,6 +68,9 @@ inline const char* fct_scheme_name(FctScheme s) {
     case FctScheme::kDctcp: return "dctcp";
     case FctScheme::kDtLoop: return "dt-loop";
     case FctScheme::kDtBand: return "dt-band";
+    case FctScheme::kDropTail: return "droptail";
+    case FctScheme::kCodel: return "codel";
+    case FctScheme::kPie: return "pie";
   }
   return "?";
 }
@@ -75,7 +86,10 @@ inline FlowSizeDist fct_workload_sizes(FctWorkloadKind k) {
 
 /// Queue factory for the bottleneck egress: buffer `buffer_pkts` deep,
 /// marking per the scheme (thresholds in packets, the paper's units).
-inline sim::QueueFactory fct_marking(FctScheme s, std::size_t buffer_pkts) {
+/// `link_bps` is the drain rate of the port the queue will serve (PIE's
+/// delay estimator needs it; the threshold schemes ignore it).
+inline sim::QueueFactory fct_marking(FctScheme s, std::size_t buffer_pkts,
+                                     double link_bps = units::gbps(1)) {
   switch (s) {
     case FctScheme::kDctcp:
       return queue::ecn_threshold(0, buffer_pkts, 20.0,
@@ -88,6 +102,18 @@ inline sim::QueueFactory fct_marking(FctScheme s, std::size_t buffer_pkts) {
       return queue::ecn_hysteresis(0, buffer_pkts, 15.0, 25.0,
                                    queue::ThresholdUnit::kPackets,
                                    queue::HysteresisVariant::kHalfBand);
+    case FctScheme::kDropTail:
+      return queue::drop_tail(0, buffer_pkts);
+    case FctScheme::kCodel:
+      return [=] {
+        return std::make_unique<queue::CodelQueue>(0, buffer_pkts,
+                                                   queue::CodelConfig{});
+      };
+    case FctScheme::kPie:
+      return [=] {
+        return std::make_unique<queue::PieQueue>(0, buffer_pkts,
+                                                 queue::PieConfig{}, link_bps);
+      };
   }
   return queue::drop_tail(0, buffer_pkts);
 }
@@ -105,6 +131,15 @@ struct FctWorkloadConfig {
   /// When > 0, every flow gets deadline = arrival + flow_deadline and
   /// the result carries met/missed counts (pair with CcMode::kD2tcp).
   SimTime flow_deadline = 0.0;
+
+  // Shared switch buffer. When enabled, every switch egress queue (the
+  // bottleneck plus the ACK-return ports) charges one DT-managed pool;
+  // `buffer_pkts` then acts as the per-port cap (0 = pool-only).
+  bool use_shared_pool = false;
+  std::size_t pool_capacity_pkts = 0;  ///< MTU packets; 0 = unlimited pool
+  double pool_alpha = 0.0;             ///< DT coefficient; 0 = no DT cap
+  std::size_t pool_headroom_pkts = 0;  ///< guaranteed per-port reserve
+  bool pool_ecn = false;               ///< mark on shared, not port, depth
 };
 
 struct FctWorkloadResult {
@@ -117,6 +152,7 @@ struct FctWorkloadResult {
   std::uint64_t drops = 0, marked_pkts = 0;
   std::uint64_t deadline_flows = 0, deadline_missed = 0;
   double queue_mean_pkts = 0.0, queue_max_pkts = 0.0;
+  std::uint64_t pool_peak_bytes = 0;  ///< shared-pool high-water (0: no pool)
   /// Full observability export for this run (JSON/CSV via
   /// maybe_export). Value-semantic so results ride through
   /// runner::run_jobs unchanged.
@@ -124,19 +160,43 @@ struct FctWorkloadResult {
 };
 
 inline FctWorkloadResult run_fct_workload(const FctWorkloadConfig& cfg) {
+  constexpr std::size_t kMtu = 1500;  // tcp::TcpConfig default MSS
+  // Declared before the network so queues can release their backlog
+  // into the pool from their destructors at teardown.
+  std::optional<sim::SharedBufferPool> pool;
+  if (cfg.use_shared_pool) pool.emplace(cfg.pool_capacity_pkts * kMtu);
+  const auto pool_wrap = [&](sim::QueueFactory f,
+                             queue::EcnOccupancySource src) {
+    if (!pool.has_value()) return f;
+    sim::PortShare share;
+    share.alpha = cfg.pool_alpha;
+    // Clamped so the per-port guarantees always fit the pool however
+    // many ports share it (sink + ACK-return, cfg.senders + 1 total).
+    std::size_t hr_pkts = cfg.pool_headroom_pkts;
+    if (cfg.pool_capacity_pkts > 0) {
+      hr_pkts = std::min(hr_pkts, cfg.pool_capacity_pkts / (cfg.senders + 1));
+    }
+    share.headroom_bytes = hr_pkts * kMtu;
+    return queue::pooled(std::move(f), *pool, share, src,
+                         static_cast<double>(kMtu));
+  };
+
   sim::Network net;
   auto& sw = net.add_switch("sw");
   auto& sink = net.add_host("sink");
   const auto edge = queue::drop_tail(0, 0);
   // The contended queue is the switch's sink-facing egress.
-  const std::size_t sink_port =
-      net.attach_host(sink, sw, cfg.link_bps, 25e-6, edge,
-                      fct_marking(cfg.scheme, cfg.buffer_pkts));
+  const std::size_t sink_port = net.attach_host(
+      sink, sw, cfg.link_bps, 25e-6, edge,
+      pool_wrap(fct_marking(cfg.scheme, cfg.buffer_pkts, cfg.link_bps),
+                cfg.pool_ecn ? queue::EcnOccupancySource::kSharedPool
+                             : queue::EcnOccupancySource::kPortQueue));
   std::vector<sim::Host*> senders;
   senders.reserve(cfg.senders);
   for (std::size_t i = 0; i < cfg.senders; ++i) {
     auto& h = net.add_host("h" + std::to_string(i));
-    net.attach_host(h, sw, 10.0 * cfg.link_bps, 25e-6, edge, edge);
+    net.attach_host(h, sw, 10.0 * cfg.link_bps, 25e-6, edge,
+                    pool_wrap(edge, queue::EcnOccupancySource::kPortQueue));
     senders.push_back(&h);
   }
   net.build_routes();
@@ -202,6 +262,11 @@ inline FctWorkloadResult run_fct_workload(const FctWorkloadConfig& cfg) {
   collector.export_to(r.metrics, prefix);
   monitor.export_to(r.metrics, prefix + ".queue");
   sim::export_counters(r.metrics, prefix + ".switch", sc);
+  if (pool.has_value()) {
+    r.pool_peak_bytes = pool->peak_used();
+    r.metrics.gauge(prefix + ".pool.peak_bytes")
+        .set(static_cast<double>(r.pool_peak_bytes));
+  }
   return r;
 }
 

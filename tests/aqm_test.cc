@@ -264,6 +264,96 @@ TEST(Codel, NonEctDiscardInDroppingStateCountsAsDrop) {
   EXPECT_EQ(c.enqueued, c.dequeued + c.dropped + q.packets());
 }
 
+// --- PIE controller clocking across idle gaps ---------------------------
+
+// The lazy arrival-clocked controller must integrate one PI step per
+// *elapsed* update interval, exactly like a timer-driven one: an idle
+// gap of N intervals followed by one arrival lands on the same
+// probability as N arrivals spaced one interval apart. The timeline
+// uses a 1 s interval and half-integer times so every instant is
+// exactly representable and the step counting has no float ambiguity.
+TEST(Pie, IdleGapRunsOneStepPerElapsedInterval) {
+  queue::PieConfig cfg;
+  cfg.update_interval = 1.0;
+  queue::PieQueue ticked(0, 0, cfg, units::mbps(100));
+  queue::PieQueue batched(0, 0, cfg, units::mbps(100));
+
+  // Identical warmup on both: a standing 20-packet backlog sampled by
+  // the controller once per second, raising p, then a full drain. The
+  // last update fires at t = 5, arming the next for t = 6.
+  const auto warm = [](queue::PieQueue& q) {
+    for (int i = 0; i < 20; ++i) {
+      auto p = pkt();
+      q.enqueue(p, 0.0);
+    }
+    for (int t = 1; t <= 5; ++t) {
+      auto p = pkt();
+      q.enqueue(p, static_cast<SimTime>(t));
+    }
+    while (deq(q, 5.5).has_value()) {
+    }
+  };
+  warm(ticked);
+  warm(batched);
+  ASSERT_DOUBLE_EQ(ticked.probability(), batched.probability());
+  const double p_warm = ticked.probability();
+  ASSERT_GT(p_warm, 0.0);
+
+  // Idle gap of 10 intervals. The ticked queue sees a touch-and-go
+  // arrival mid-interval every second (each triggers exactly one
+  // controller step); the batched queue sees only the last arrival and
+  // must catch up across the whole gap.
+  for (int k = 0; k < 10; ++k) {
+    const SimTime t = 6.5 + static_cast<SimTime>(k);
+    auto a = pkt();
+    ticked.enqueue(a, t);
+    deq(ticked, t);
+  }
+  auto b = pkt();
+  batched.enqueue(b, 15.5);
+  deq(batched, 15.5);
+
+  EXPECT_DOUBLE_EQ(ticked.probability(), batched.probability());
+  EXPECT_GT(ticked.probability(), 0.0);       // gap too short to hit zero
+  EXPECT_LT(batched.probability(), p_warm);   // empty queue: p decays
+}
+
+TEST(Pie, ZeroDrainRateHoldsProbability) {
+  // A link that never drains gives the delay estimator nothing to work
+  // with; the controller must hold p (and stay finite) instead of
+  // dividing by zero.
+  queue::PieQueue q(0, 0, {}, 0.0);
+  SimTime t = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    auto p = pkt();
+    q.enqueue(p, t);
+    t += 200e-6;
+  }
+  EXPECT_DOUBLE_EQ(q.probability(), 0.0);
+  EXPECT_EQ(q.marks(), 0u);
+  EXPECT_EQ(q.packets(), 50u);  // everything admitted, nothing dropped
+}
+
+TEST(Pie, HugeIdleGapIsBoundedAndDecaysToZero) {
+  queue::PieConfig cfg;
+  queue::PieQueue q(0, 0, cfg, units::mbps(100));
+  SimTime t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    auto p = pkt();
+    q.enqueue(p, t);
+    t += 50e-6;
+  }
+  while (deq(q, t).has_value()) {
+  }
+  ASSERT_GT(q.probability(), 0.0);
+  // An hour of idle link: the catch-up loop is bounded (it converges or
+  // saturates long before), and with an empty queue the controller must
+  // have fully decayed.
+  auto p = pkt();
+  q.enqueue(p, 3600.0);
+  EXPECT_DOUBLE_EQ(q.probability(), 0.0);
+}
+
 TEST(Pie, SinglePacketBuffer) {
   queue::PieQueue q(0, 1, {}, units::gbps(1));
   auto a = pkt();

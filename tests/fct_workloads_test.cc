@@ -146,6 +146,57 @@ TEST(FctWorkloads, LifecycleInvariantsUnderLoad) {
   }
 }
 
+// No-op recovery: wiring the shared pool in with unlimited capacity
+// (capacity 0) must not perturb a single byte of the result — the pool
+// admits everything, so the simulation is event-for-event identical to
+// an unpooled run.
+TEST(FctWorkloads, UnlimitedPoolIsByteIdenticalToNoPool) {
+  workload::FctWorkloadConfig base;
+  base.kind = workload::FctWorkloadKind::kWebSearch;
+  base.scheme = workload::FctScheme::kDctcp;
+  base.duration = 0.1;
+  base.seed = 21;
+  const auto plain = workload::run_fct_workload(base);
+
+  workload::FctWorkloadConfig pooled = base;
+  pooled.use_shared_pool = true;
+  pooled.pool_capacity_pkts = 0;  // unlimited
+  pooled.pool_alpha = 1.0;
+  pooled.pool_headroom_pkts = 2;
+  const auto with_pool = workload::run_fct_workload(pooled);
+
+  ASSERT_GT(plain.flows_completed, 0u);
+  EXPECT_EQ(workload::format_fct_row(base, plain),
+            workload::format_fct_row(base, with_pool));
+  EXPECT_EQ(plain.flows_completed, with_pool.flows_completed);
+  EXPECT_DOUBLE_EQ(plain.fct_mean, with_pool.fct_mean);
+  EXPECT_DOUBLE_EQ(plain.fct_p99, with_pool.fct_p99);
+  EXPECT_EQ(plain.timeouts, with_pool.timeouts);
+  EXPECT_EQ(plain.marks_seen, with_pool.marks_seen);
+  // The pooled run did track occupancy even though it never rejected.
+  EXPECT_GT(with_pool.pool_peak_bytes, 0u);
+  EXPECT_EQ(plain.pool_peak_bytes, 0u);
+}
+
+// A finite pool under the same traffic actually bites: peak occupancy
+// is pinned at the capacity and the workload still completes flows.
+TEST(FctWorkloads, FinitePoolCapsOccupancyAndStillCompletes) {
+  workload::FctWorkloadConfig cfg;
+  cfg.kind = workload::FctWorkloadKind::kWebSearch;
+  cfg.scheme = workload::FctScheme::kDctcp;
+  cfg.buffer_pkts = 0;  // pool is the only limit
+  cfg.duration = 0.1;
+  cfg.seed = 21;
+  cfg.use_shared_pool = true;
+  cfg.pool_capacity_pkts = 40;
+  cfg.pool_alpha = 1.0;
+  cfg.pool_headroom_pkts = 2;
+  const auto r = workload::run_fct_workload(cfg);
+  ASSERT_GT(r.flows_completed, 0u);
+  EXPECT_GT(r.pool_peak_bytes, 0u);
+  EXPECT_LE(r.pool_peak_bytes, 40u * 1500u);
+}
+
 TEST(FctWorkloads, DeadlineAccountingWithD2tcp) {
   workload::FctWorkloadConfig cfg;
   cfg.kind = workload::FctWorkloadKind::kQueryBackground;

@@ -132,7 +132,9 @@ INSTANTIATE_TEST_SUITE_P(
         FaultCase{Fault::kOccupancyLeak, ViolationKind::kOccupancy},
         FaultCase{Fault::kSpuriousMark, ViolationKind::kEcnRule},
         FaultCase{Fault::kLostDelivery, ViolationKind::kLeak},
-        FaultCase{Fault::kAlphaRange, ViolationKind::kTcpRange}),
+        FaultCase{Fault::kAlphaRange, ViolationKind::kTcpRange},
+        FaultCase{Fault::kPoolLeak, ViolationKind::kPoolConservation},
+        FaultCase{Fault::kPoolOverAdmit, ViolationKind::kPoolLegality}),
     [](const ::testing::TestParamInfo<FaultCase>& info) {
       std::string name = fault_name(info.param.fault);
       for (char& c : name) {

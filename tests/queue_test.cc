@@ -494,6 +494,88 @@ TEST(EcnHysteresis, EqualThresholdsHalfBandVariant) {
   EXPECT_EQ(q.marks(), 3u);
 }
 
+// --- Re-entry after a full drain ----------------------------------------
+// Pin the documented reset semantics across excursions (see the header
+// comment in queue/ecn_hysteresis.h): trend-peak re-anchors its trough
+// when marking stops, half-band carries its toggle parity. These tests
+// gate the fig10/fig11 byte-identical kernels — a "fix" that changes
+// either behavior must re-baseline those.
+
+TEST(EcnHysteresis, TrendPeakReentryAfterFullDrainRepeatsTheCycle) {
+  // K1 = 4, K2 = 8, default margin max(1, (8-4)/8) = 1.
+  queue::EcnHysteresisQueue q(0, 0, 4.0, 8.0, queue::ThresholdUnit::kPackets,
+                              queue::HysteresisVariant::kTrendPeak);
+  const std::vector<bool> expected{false, false, false, true,
+                                   true,  true,  true,  true};
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    std::vector<bool> marks;
+    for (int i = 0; i < 8; ++i) {
+      auto p = data_packet();
+      q.enqueue(p, 0.0);
+      marks.push_back(p.ce);
+    }
+    // The second excursion must mark exactly like the first: after the
+    // full drain the trough re-anchored near zero, so the fresh K1
+    // crossing passes the rising gate immediately.
+    EXPECT_EQ(marks, expected) << "cycle " << cycle;
+    EXPECT_TRUE(q.marking());
+    deq(q, 0.0);  // occupancy 7 <= peak(8) - margin and < K2 -> stop
+    EXPECT_FALSE(q.marking());
+    while (deq(q, 0.0).has_value()) {
+    }
+    EXPECT_EQ(q.packets(), 0u);
+  }
+  EXPECT_EQ(q.marks(), 3u * 5u);
+}
+
+TEST(EcnHysteresis, DrainToStartReentryAfterFullDrainRepeatsTheCycle) {
+  queue::EcnHysteresisQueue q(0, 0, 3.0, 6.0, queue::ThresholdUnit::kPackets,
+                              queue::HysteresisVariant::kDrainToStart);
+  const std::vector<bool> expected{false, false, true, true,
+                                   true,  true,  true};
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    std::vector<bool> marks;
+    for (int i = 0; i < 7; ++i) {
+      auto p = data_packet();
+      q.enqueue(p, 0.0);
+      marks.push_back(p.ce);
+    }
+    EXPECT_EQ(marks, expected) << "cycle " << cycle;
+    EXPECT_TRUE(q.marking());
+    while (deq(q, 0.0).has_value()) {
+    }
+    // Stopped at the downward K2 crossing during the drain.
+    EXPECT_FALSE(q.marking());
+    EXPECT_EQ(q.packets(), 0u);
+  }
+  EXPECT_EQ(q.marks(), 3u * 5u);
+}
+
+TEST(EcnHysteresis, HalfBandToggleParityCarriesAcrossFullDrain) {
+  // Wide band [2, 100): every other in-band arrival is marked, and the
+  // parity deliberately survives a full drain — across two 3-arrival
+  // excursions exactly 3 of the 6 in-band packets are marked, not
+  // ceil(3/2) twice (which a per-excursion reset would give).
+  queue::EcnHysteresisQueue q(0, 0, 2.0, 100.0, queue::ThresholdUnit::kPackets,
+                              queue::HysteresisVariant::kHalfBand);
+  auto excursion = [&] {
+    std::vector<bool> marks;
+    for (int i = 0; i < 4; ++i) {
+      auto p = data_packet();
+      q.enqueue(p, 0.0);
+      marks.push_back(p.ce);
+    }
+    while (deq(q, 0.0).has_value()) {
+    }
+    return marks;
+  };
+  // Occupancies after admit: 1 (below band), 2, 3, 4 (in band).
+  EXPECT_EQ(excursion(), (std::vector<bool>{false, true, false, true}));
+  // Second excursion continues the toggle where the first left off.
+  EXPECT_EQ(excursion(), (std::vector<bool>{false, false, true, false}));
+  EXPECT_EQ(q.marks(), 3u);
+}
+
 TEST(QueueDisc, CountersTrackEveryEvent) {
   queue::EcnThresholdQueue q(0, 2, 1.0, queue::ThresholdUnit::kPackets);
   auto p = data_packet();

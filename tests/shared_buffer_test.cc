@@ -74,6 +74,98 @@ TEST(SharedBufferPool, TwoQueuesCompeteForTheSamePool) {
   EXPECT_EQ(b.enqueue(p3, 0.0), sim::EnqueueResult::kEnqueued);
 }
 
+TEST(SharedBufferPool, TryReserveRejectsNearMaxWithoutWrapping) {
+  // Regression: `used_ + bytes > capacity_` wraps for bytes near
+  // SIZE_MAX; the rewritten `bytes > capacity_ - used_` form cannot.
+  sim::SharedBufferPool pool(4000);
+  ASSERT_TRUE(pool.try_reserve(3000));
+  constexpr std::size_t kMax = static_cast<std::size_t>(-1);
+  EXPECT_FALSE(pool.try_reserve(kMax));
+  EXPECT_FALSE(pool.try_reserve(kMax - 100));
+  EXPECT_FALSE(pool.try_reserve(kMax - 3000));
+  EXPECT_EQ(pool.used(), 3000u);  // rejected requests charged nothing
+  // Exact-fit boundary still admits; one byte more does not.
+  EXPECT_FALSE(pool.try_reserve(1001));
+  EXPECT_TRUE(pool.try_reserve(1000));
+  EXPECT_EQ(pool.available(), 0u);
+  // Same arithmetic on the per-port path.
+  sim::SharedBufferPool ported(4000);
+  const std::size_t p = ported.add_port({});
+  ASSERT_TRUE(ported.try_reserve(p, 3000));
+  EXPECT_FALSE(ported.would_admit(p, kMax - 100));
+  EXPECT_FALSE(ported.try_reserve(p, kMax - 3000));
+  EXPECT_TRUE(ported.try_reserve(p, 1000));
+  EXPECT_EQ(ported.used(), 4000u);
+}
+
+TEST(SharedBufferPool, DynamicThresholdCapsAHotPort) {
+  // alpha = 1: a port may hold at most as much shared memory as remains
+  // free, i.e. a lone hot port saturates at half the pool.
+  sim::SharedBufferPool pool(10 * 1500);
+  const std::size_t hot = pool.add_port({.alpha = 1.0});
+  const std::size_t victim = pool.add_port({.alpha = 1.0});
+  std::size_t admitted = 0;
+  while (pool.try_reserve(hot, 1500)) ++admitted;
+  EXPECT_EQ(admitted, 5u);  // 5 * 1500 held == 5 * 1500 free
+  // The other port still gets in — the hot port could not starve it.
+  EXPECT_TRUE(pool.try_reserve(victim, 1500));
+  // Draining the hot port re-opens its threshold.
+  pool.release(hot, 3 * 1500);
+  EXPECT_TRUE(pool.try_reserve(hot, 1500));
+  // An FCFS port (alpha <= 0) has no dynamic cap: it runs to exhaustion.
+  sim::SharedBufferPool fcfs_pool(10 * 1500);
+  const std::size_t fcfs = fcfs_pool.add_port({});
+  std::size_t fcfs_admitted = 0;
+  while (fcfs_pool.try_reserve(fcfs, 1500)) ++fcfs_admitted;
+  EXPECT_EQ(fcfs_admitted, 10u);
+}
+
+TEST(SharedBufferPool, HeadroomGuaranteeSurvivesAHotPort) {
+  // Port B reserves 2 packets of guaranteed headroom; a greedy FCFS
+  // port A can exhaust the shared region but never B's reserve.
+  sim::SharedBufferPool pool(10 * 1500);
+  const std::size_t a = pool.add_port({});
+  const std::size_t b = pool.add_port({.headroom_bytes = 3000});
+  std::size_t admitted = 0;
+  while (pool.try_reserve(a, 1500)) ++admitted;
+  EXPECT_EQ(admitted, 8u);  // capacity minus B's untouched reserve
+  EXPECT_TRUE(pool.try_reserve(b, 1500));
+  EXPECT_TRUE(pool.try_reserve(b, 1500));
+  EXPECT_EQ(pool.used(), pool.capacity());
+  EXPECT_FALSE(pool.would_admit(b, 1500));  // reserve spent, pool full
+  EXPECT_EQ(pool.peak_used(), pool.capacity());
+}
+
+TEST(SharedBufferPool, UnlimitedPoolAdmitsEverything) {
+  sim::SharedBufferPool pool(0);
+  const std::size_t p = pool.add_port({.alpha = 1.0, .headroom_bytes = 1});
+  EXPECT_TRUE(pool.unlimited());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(pool.try_reserve(p, 1500));
+  }
+  EXPECT_TRUE(pool.try_reserve(1 << 30));  // anonymous path too
+  EXPECT_EQ(pool.used(), 1000u * 1500u + (1u << 30));
+  EXPECT_EQ(pool.peak_used(), pool.used());
+}
+
+TEST(SharedBufferPool, OversubscribedHeadroomDegradesToReserveOnly) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "add_port asserts on oversubscription when asserts are on";
+#else
+  // Misconfigured guarantees (sum of headrooms > capacity) must not
+  // underflow shared_capacity(); the pool degrades to headroom-only
+  // admission instead of admitting everything.
+  sim::SharedBufferPool pool(3000);
+  const std::size_t a = pool.add_port({.headroom_bytes = 2000});
+  const std::size_t b = pool.add_port({.headroom_bytes = 2000});
+  EXPECT_TRUE(pool.try_reserve(a, 2000));   // within own reserve
+  EXPECT_FALSE(pool.would_admit(a, 1500));  // shared region is empty
+  EXPECT_TRUE(pool.try_reserve(b, 1000));   // reserve, while it fits
+  EXPECT_FALSE(pool.would_admit(b, 500));   // pool physically full
+  EXPECT_EQ(pool.used(), 3000u);
+#endif
+}
+
 TEST(SharedBufferPool, BufferPressureEndToEnd) {
   // Two output ports of one switch share 80 pkts of memory. Elephants
   // congest port B; the burst into port A then sees less headroom and

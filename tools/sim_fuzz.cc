@@ -73,6 +73,8 @@ constexpr FaultMode kFaultModes[] = {
     {"spurious-mark", Fault::kSpuriousMark},
     {"lost-delivery", Fault::kLostDelivery},
     {"alpha-range", Fault::kAlphaRange},
+    {"pool-leak", Fault::kPoolLeak},
+    {"pool-overadmit", Fault::kPoolOverAdmit},
 };
 
 /// Runs scenarios until one actually commits the fault, then requires
@@ -119,7 +121,7 @@ int usage() {
                "       sim_fuzz --fluid N [--seed S]\n"
                "       sim_fuzz --inject MODE [--seed S]   (MODE: "
                "uncounted-drop fifo-swap occupancy-leak spurious-mark "
-               "lost-delivery alpha-range all)\n");
+               "lost-delivery alpha-range pool-leak pool-overadmit all)\n");
   return 2;
 }
 
