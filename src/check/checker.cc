@@ -75,6 +75,7 @@ ConservationTotals Checker::totals() const {
   t.delivered = delivered_;
   t.dropped = dropped_;
   t.retired = retired_;
+  t.exported = exported_;
   t.in_flight = live_.size();
   return t;
 }
@@ -694,6 +695,16 @@ void Checker::queue_destroyed(const sim::QueueDisc* d) {
   queues_.erase(it);
 }
 
+void Checker::packet_exported(const sim::Port* p, const sim::Packet& pkt) {
+  (void)p;
+  ++events_checked_;
+  // The packet leaves this shard's jurisdiction: its uid terminates here
+  // as "exported". The parsim runner's cross-shard ledger closes the
+  // loop by matching the sum of exported counts against the mailbox
+  // drain totals (see parsim/shard_runner.cc).
+  terminate(pkt.uid, &exported_);
+}
+
 void Checker::packet_injected(const sim::Host* h, sim::Packet& pkt) {
   (void)h;
   ++events_checked_;
@@ -836,11 +847,11 @@ void Checker::finalize() {
                rec.loc == Loc::kQueued ? "queued" : "in transit"));
   }
   const std::uint64_t accounted =
-      delivered_ + dropped_ + retired_ + live_.size();
+      delivered_ + dropped_ + retired_ + exported_ + live_.size();
   if (injected_ != accounted) {
     report(ViolationKind::kConservation,
            fmt("conservation sum broken: injected=%llu but "
-               "delivered+dropped+retired+live=%llu",
+               "delivered+dropped+retired+exported+live=%llu",
                static_cast<unsigned long long>(injected_),
                static_cast<unsigned long long>(accounted)));
   }

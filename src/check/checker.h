@@ -87,6 +87,7 @@ struct ConservationTotals {
   std::uint64_t delivered = 0;  ///< handed to a bound flow sink
   std::uint64_t dropped = 0;    ///< any drop class (queue, unrouted, unbound)
   std::uint64_t retired = 0;    ///< still buffered when their queue died
+  std::uint64_t exported = 0;   ///< handed to another shard (parsim mailbox)
   std::uint64_t in_flight = 0;  ///< live: queued or on the wire
 };
 
@@ -109,6 +110,7 @@ class Checker final : public Hooks {
   void queue_bypassed(const sim::QueueDisc* d, sim::Packet& pkt,
                       bool ce_before, SimTime now) override;
   void queue_destroyed(const sim::QueueDisc* d) override;
+  void packet_exported(const sim::Port* p, const sim::Packet& pkt) override;
   void packet_injected(const sim::Host* h, sim::Packet& pkt) override;
   void packet_delivered(const sim::Host* h, const sim::Packet& pkt) override;
   void packet_unbound(const sim::Host* h, const sim::Packet& pkt) override;
@@ -255,6 +257,7 @@ class Checker final : public Hooks {
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t retired_ = 0;
+  std::uint64_t exported_ = 0;
 
   struct SenderRec {
     std::int64_t snd_max = 0;

@@ -11,6 +11,7 @@
 #include "core/dumbbell.h"
 #include "core/marking_config.h"
 #include "fluid/fluid_model.h"
+#include "parsim/fabric.h"
 #include "queue/codel.h"
 #include "queue/ecn_hysteresis.h"
 #include "queue/ecn_threshold.h"
@@ -29,6 +30,7 @@ namespace {
 constexpr std::uint64_t kGenSalt = 0x67656e5f73616c74ULL;   // "gen_salt"
 constexpr std::uint64_t kRunSalt = 0x72756e5f73616c74ULL;   // "run_salt"
 constexpr std::uint64_t kFluidSalt = 0x666c756964313163ULL;
+constexpr std::uint64_t kLargeSalt = 0x6c617267655f6662ULL;  // "large_fb"
 
 queue::ThresholdUnit unit_of(const FuzzScenario& sc) {
   return sc.byte_unit ? queue::ThresholdUnit::kBytes
@@ -386,6 +388,56 @@ FuzzScenario shrink_scenario(FuzzScenario failing, const CheckConfig& cfg,
     }
   }
   return failing;
+}
+
+FuzzResult run_large_scenario(std::uint64_t seed) {
+  Rng rng(splitmix64(seed ^ kLargeSalt));
+
+  parsim::FabricConfig fc;
+  fc.fabric = sim::LeafSpineConfig::stress();
+  const std::size_t shard_choices[] = {1, 2, 4};
+  fc.shards = shard_choices[rng.uniform_int(0, 2)];
+  fc.segments_per_flow = rng.uniform_int(30, 90);
+  fc.mark_threshold_packets = rng.uniform(20.0, 80.0);
+  fc.buffer_packets = static_cast<std::size_t>(rng.uniform_int(150, 400));
+  fc.seed = derive_seed(seed, 11);
+  // Per-shard checkers always on (when compiled), never aborting — the
+  // fuzzer wants the violation list, not a crash.
+  fc.check = parsim::ShardRunnerOptions::Check::kForce;
+  fc.check_cfg.abort_on_violation = false;
+
+  // The caller-thread scope covers the single-shard path (which runs
+  // inline); with more shards the workers install their own checkers
+  // and this scope just observes nothing.
+  const auto one = [&](FuzzResult& r) {
+    CheckConfig cc;
+    cc.abort_on_violation = false;
+    CheckScope scope(cc);
+    const parsim::FabricResult fr = parsim::run_fabric(fc);
+    r.checks_compiled = compiled();
+    r.events = fr.events;
+    r.drained = fr.ledger_ok;
+    r.completed = fr.completed == fr.flows;
+    r.violation_count = fr.check_violations;
+    if (Checker* c = scope.checker()) {
+      c->finalize();
+      r.violation_count += c->violation_count();
+      r.violations = c->violations();
+      r.totals = c->totals();
+    }
+    if (!fr.ledger_ok) ++r.violation_count;
+    return fr.digest;
+  };
+
+  FuzzResult first;
+  FuzzResult second;
+  const std::uint64_t d1 = one(first);
+  const std::uint64_t d2 = one(second);
+  first.violation_count += second.violation_count;
+  // Fixed shard count => identical digest is a hard guarantee;
+  // nondeterminism is as much a bug as a conservation leak.
+  if (d1 != d2) ++first.violation_count;
+  return first;
 }
 
 FluidCrossResult fluid_cross_check(std::uint64_t seed) {

@@ -98,6 +98,15 @@ FuzzResult run_scenario(const FuzzScenario& sc, const CheckConfig& cfg);
 FuzzScenario shrink_scenario(FuzzScenario failing, const CheckConfig& cfg,
                              int max_attempts = 48);
 
+/// Large-scenario mode (`sim_fuzz --large`): runs the stress-preset
+/// leaf-spine fabric (sim::LeafSpineConfig::stress, 256 hosts) through
+/// the parsim sharded executor with a seed-derived shard count (1, 2,
+/// or 4), per-shard invariant checkers forced on, and the run repeated
+/// once to compare result digests. A digest mismatch (nondeterminism)
+/// or an open cross-shard mailbox ledger counts as a violation on top
+/// of anything the checkers flagged.
+FuzzResult run_large_scenario(std::uint64_t seed);
+
 /// Packet-simulator vs fluid-model cross-validation.
 struct FluidCrossResult {
   double sim_queue_mean = 0.0;   ///< packets, measured window

@@ -99,6 +99,11 @@ class Hooks {
   virtual void queue_destroyed(const sim::QueueDisc* d) = 0;
 
   // --- node events ---
+  /// A packet leaving this shard through a cross-shard port (parsim
+  /// mailbox push). The uid terminates in this shard's ledger as
+  /// "exported"; the consuming shard's checker adopts the packet as a
+  /// fresh injection when it next touches a hooked component.
+  virtual void packet_exported(const sim::Port* p, const sim::Packet& pkt) = 0;
   virtual void packet_injected(const sim::Host* h, sim::Packet& pkt) = 0;
   virtual void packet_delivered(const sim::Host* h, const sim::Packet& pkt) = 0;
   virtual void packet_unbound(const sim::Host* h, const sim::Packet& pkt) = 0;

@@ -1,8 +1,12 @@
 #include "core/dumbbell.h"
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
+#include "parsim/partition.h"
+#include "parsim/shard_runner.h"
+#include "parsim/sharded_network.h"
 #include "sim/network.h"
 #include "sim/queue_monitor.h"
 #include "workload/long_lived.h"
@@ -44,6 +48,30 @@ DumbbellResult run_dumbbell(const DumbbellConfig& cfg) {
   workload::LongLivedGroup group(net, senders, sink, cfg.tcp,
                                  cfg.start_spread, cfg.seed);
 
+  // shards == 1 routes every advance through the parsim window
+  // protocol; with one shard the lookahead is infinite, so each command
+  // degenerates to the exact serial run_until (pinned byte-identical by
+  // tests).
+  if (cfg.shards > 1) {
+    throw std::invalid_argument(
+        "run_dumbbell: shards > 1 unsupported (alpha sampler reads "
+        "cross-shard state); use parsim::run_fabric");
+  }
+  std::unique_ptr<parsim::ShardedNetwork> sharded;
+  std::unique_ptr<parsim::ShardRunner> shard_runner;
+  if (cfg.shards == 1) {
+    sharded = std::make_unique<parsim::ShardedNetwork>(
+        net, parsim::Partition::single(net.nodes().size()));
+    shard_runner = std::make_unique<parsim::ShardRunner>(*sharded);
+  }
+  auto advance = [&](SimTime t) {
+    if (shard_runner != nullptr) {
+      shard_runner->run_until(t);
+    } else {
+      net.sim().run_until(t);
+    }
+  };
+
   DumbbellResult result;
 
   // Alpha sampling (only meaningful for DCTCP-mode senders).
@@ -58,7 +86,7 @@ DumbbellResult run_dumbbell(const DumbbellConfig& cfg) {
   };
 
   // Warmup, then reset statistics and measure.
-  net.sim().run_until(cfg.warmup);
+  advance(cfg.warmup);
   monitor.reset_stats(cfg.warmup);
   const std::uint64_t sink_bytes_at_warmup = [&] {
     std::uint64_t total = 0;
@@ -70,7 +98,7 @@ DumbbellResult run_dumbbell(const DumbbellConfig& cfg) {
   net.sim().after(0.0, sample_alpha);
 
   const SimTime end = cfg.warmup + cfg.measure;
-  net.sim().run_until(end);
+  advance(end);
   monitor.finish(end);
 
   const auto& disc = sw.port(bneck_port).disc();

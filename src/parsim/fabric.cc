@@ -1,0 +1,140 @@
+#include "parsim/fabric.h"
+
+#include <bit>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "queue/factory.h"
+#include "tcp/connection.h"
+#include "util/rng.h"
+
+namespace dtdctcp::parsim {
+
+namespace {
+
+/// FNV-1a, word at a time; doubles hash by bit pattern so the digest is
+/// exact at full precision.
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix(const sim::Counters& c) {
+    mix(c.offered);
+    mix(c.enqueued);
+    mix(c.dequeued);
+    mix(c.bypassed);
+    mix(c.dropped);
+    mix(c.marked);
+    mix(c.sent_packets);
+    mix(c.sent_bytes);
+    mix(c.unrouted_dropped);
+    mix(c.unbound_dropped);
+  }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+FabricResult run_fabric(const FabricConfig& cfg) {
+  FabricResult out;
+
+  const sim::QueueFactory switch_queue = queue::ecn_threshold(
+      0, cfg.buffer_packets, cfg.mark_threshold_packets,
+      queue::ThresholdUnit::kPackets);
+  sim::LeafSpine fabric = sim::build_leaf_spine(cfg.fabric, switch_queue);
+  sim::Network& net = *fabric.net;
+
+  // Sharding scaffolding first, so connections can bind each endpoint
+  // to its host's shard simulator.
+  std::unique_ptr<ShardedNetwork> sharded;
+  std::unique_ptr<ShardRunner> runner;
+  if (cfg.shards >= 1) {
+    sharded = std::make_unique<ShardedNetwork>(
+        net, leaf_spine_partition(fabric, cfg.fabric, cfg.shards));
+    ShardRunnerOptions opts;
+    opts.check = cfg.check;
+    opts.check_cfg = cfg.check_cfg;
+    runner = std::make_unique<ShardRunner>(*sharded, opts);
+  }
+
+  // Cross-rack permutation traffic, host order = flow id order.
+  const std::size_t n = fabric.hosts.size();
+  Rng rng(cfg.seed);
+  std::vector<std::unique_ptr<tcp::Connection>> conns;
+  conns.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::Host& src = *fabric.hosts[i];
+    sim::Host& dst = *fabric.hosts[(i + cfg.fabric.hosts_per_leaf) % n];
+    auto conn =
+        sharded != nullptr
+            ? std::make_unique<tcp::Connection>(
+                  net, sharded->sim_for(src.id()), sharded->sim_for(dst.id()),
+                  src, dst, cfg.tcp, cfg.segments_per_flow)
+            : std::make_unique<tcp::Connection>(net, src, dst, cfg.tcp,
+                                                cfg.segments_per_flow);
+    conn->start_at(cfg.start_spread > 0.0
+                       ? rng.uniform(0.0, cfg.start_spread)
+                       : 0.0);
+    conns.push_back(std::move(conn));
+  }
+  out.flows = n;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (runner != nullptr) {
+    runner->run();
+    out.ledger_ok = runner->finalize();
+    out.telemetry = runner->telemetry();
+    for (const auto& c : runner->checkers()) {
+      if (c != nullptr) out.check_violations += c->violation_count();
+    }
+    for (std::size_t s = 0; s < sharded->shards(); ++s) {
+      out.events += sharded->shard_sim(s).events_processed();
+    }
+  } else {
+    net.sim().run();
+    out.events = net.sim().events_processed();
+  }
+  out.wall_seconds = seconds_since(t0);
+
+  Fnv digest;
+  for (const auto& conn : conns) {
+    const tcp::TcpSender& snd = conn->sender();
+    if (snd.completed()) {
+      ++out.completed;
+      const double fct = snd.completion_time() - snd.start_time();
+      out.sum_fct += fct;
+      if (fct > out.max_fct) out.max_fct = fct;
+    }
+    digest.mix(static_cast<std::uint64_t>(conn->flow()));
+    digest.mix(snd.completion_time());
+    digest.mix(static_cast<std::uint64_t>(snd.retransmissions()));
+    digest.mix(static_cast<std::uint64_t>(snd.timeouts()));
+    digest.mix(snd.alpha());
+    digest.mix(static_cast<std::uint64_t>(conn->receiver().bytes_received()));
+  }
+  auto fold_switch = [&](sim::Switch* sw) {
+    const sim::Counters c = sw->counters();
+    digest.mix(c);
+    out.marks += c.marked;
+    out.drops += c.dropped + c.unrouted_dropped;
+    for (std::size_t p = 0; p < sw->port_count(); ++p) {
+      out.fabric_packets += sw->port(p).packets_sent();
+    }
+  };
+  for (sim::Switch* sw : fabric.leaves) fold_switch(sw);
+  for (sim::Switch* sw : fabric.spines) fold_switch(sw);
+  out.digest = digest.h;
+  return out;
+}
+
+}  // namespace dtdctcp::parsim

@@ -1,0 +1,62 @@
+// Shard-safe leaf-spine traffic harness: one fabric, one scenario,
+// serial or sharded execution — the workload behind the parsim benches,
+// determinism tests, and sim_fuzz --large.
+//
+// Scenario: a cross-rack permutation. Host i opens one finite DCTCP
+// flow to host (i + hosts_per_leaf) mod N, so every flow traverses
+// leaf -> spine -> leaf and every host is both a sender and a receiver.
+// Start times are staggered from the seed. All flow state is
+// shard-local (each TCP endpoint schedules on its own host's shard), so
+// the same scenario runs on any shard count. Determinism guarantees:
+// for a fixed shard count the digest is identical run-to-run, and shard
+// count 1 is byte-identical to the serial (shards == 0) run — both
+// pinned by tests. Different shard counts may order same-timestamp
+// events differently and are not required to match bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "parsim/shard_runner.h"
+#include "sim/leaf_spine.h"
+#include "tcp/config.h"
+
+namespace dtdctcp::parsim {
+
+struct FabricConfig {
+  sim::LeafSpineConfig fabric{};
+  /// 0 = pure serial run (no parsim objects at all — the reference for
+  /// byte-identity); 1 = single-shard parsim executor; N > 1 = sharded.
+  std::size_t shards = 0;
+  double mark_threshold_packets = 65.0;  ///< K on every switch egress
+  std::size_t buffer_packets = 250;      ///< per-port limit
+  tcp::TcpConfig tcp{};
+  std::int64_t segments_per_flow = 200;  ///< finite flows; run to drain
+  SimTime start_spread = 200e-6;
+  std::uint64_t seed = 1;
+  ShardRunnerOptions::Check check = ShardRunnerOptions::Check::kEnv;
+  check::CheckConfig check_cfg;
+};
+
+struct FabricResult {
+  std::uint64_t events = 0;          ///< sum over shard simulators
+  std::uint64_t fabric_packets = 0;  ///< transmissions on leaf/spine ports
+  std::uint64_t marks = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t flows = 0;
+  std::uint64_t completed = 0;
+  double sum_fct = 0.0;  ///< seconds, over completed flows
+  double max_fct = 0.0;
+  /// FNV-1a over every flow's completion state and every switch's
+  /// counters, in deterministic (construction) order: a bit-exact
+  /// fingerprint of the simulation outcome. Equal digests mean equal
+  /// runs at double precision.
+  std::uint64_t digest = 0;
+  double wall_seconds = 0.0;  ///< traffic run only (topology build excluded)
+  bool ledger_ok = true;      ///< ShardRunner::finalize (sharded runs)
+  std::uint64_t check_violations = 0;  ///< per-shard checkers, if installed
+  ShardRunnerTelemetry telemetry;      ///< empty for shards == 0
+};
+
+FabricResult run_fabric(const FabricConfig& cfg);
+
+}  // namespace dtdctcp::parsim

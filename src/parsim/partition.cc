@@ -1,0 +1,40 @@
+#include "parsim/partition.h"
+
+#include <algorithm>
+
+#include "sim/leaf_spine.h"
+
+namespace dtdctcp::parsim {
+
+Partition Partition::single(std::size_t node_count) {
+  Partition p;
+  p.shards = 1;
+  p.shard_of.assign(node_count, 0);
+  return p;
+}
+
+Partition leaf_spine_partition(const sim::LeafSpine& fabric,
+                               const sim::LeafSpineConfig& cfg,
+                               std::size_t shards) {
+  const std::size_t node_count = fabric.net->nodes().size();
+  if (shards <= 1) return Partition::single(node_count);
+  shards = std::min(shards, cfg.leaves);
+
+  Partition p;
+  p.shards = shards;
+  p.shard_of.assign(node_count, 0);
+  for (std::size_t s = 0; s < fabric.spines.size(); ++s) {
+    p.shard_of[fabric.spines[s]->id()] =
+        static_cast<std::uint32_t>(s % shards);
+  }
+  for (std::size_t l = 0; l < fabric.leaves.size(); ++l) {
+    const auto shard = static_cast<std::uint32_t>(l % shards);
+    p.shard_of[fabric.leaves[l]->id()] = shard;
+    for (std::size_t h = 0; h < cfg.hosts_per_leaf; ++h) {
+      p.shard_of[fabric.hosts[l * cfg.hosts_per_leaf + h]->id()] = shard;
+    }
+  }
+  return p;
+}
+
+}  // namespace dtdctcp::parsim

@@ -1,0 +1,47 @@
+// Static topology partitioning for the conservative parallel executor.
+//
+// A Partition assigns every node of a built sim::Network to one shard
+// (logical process). Shards must cut only links with a strictly
+// positive propagation delay — that delay is the lookahead that makes
+// conservative synchronization safe (see shard_runner.h) — so the
+// partitioning rule keeps zero-latency neighbourhoods together: a leaf
+// switch and all of its hosts form one logical process, because host
+// links are the short ones and the leaf<->spine fabric links carry the
+// distance (and therefore the lookahead).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/packet.h"
+
+namespace dtdctcp::sim {
+struct LeafSpine;
+struct LeafSpineConfig;
+}  // namespace dtdctcp::sim
+
+namespace dtdctcp::parsim {
+
+/// Dense node -> shard map. Shard ids are contiguous in [0, shards).
+struct Partition {
+  std::size_t shards = 1;
+  std::vector<std::uint32_t> shard_of;  ///< indexed by sim::NodeId
+
+  std::uint32_t of(sim::NodeId id) const { return shard_of[id]; }
+
+  /// Everything in shard 0 — the degenerate partition whose executor is
+  /// byte-identical to the serial simulator.
+  static Partition single(std::size_t node_count);
+};
+
+/// Leaf-spine partitioning rule: leaf `l` plus its hosts form one
+/// logical process on shard `l % shards`; spine `s` lands on shard
+/// `s % shards`. Every cut link is then a leaf<->spine fabric link, so
+/// the lookahead is the fabric propagation delay. `shards` is clamped
+/// to the leaf count (an empty shard would only add barrier overhead).
+Partition leaf_spine_partition(const sim::LeafSpine& fabric,
+                               const sim::LeafSpineConfig& cfg,
+                               std::size_t shards);
+
+}  // namespace dtdctcp::parsim

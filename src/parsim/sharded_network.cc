@@ -1,0 +1,72 @@
+#include "parsim/sharded_network.h"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "sim/host.h"
+#include "sim/switch.h"
+
+namespace dtdctcp::parsim {
+
+ShardedNetwork::ShardedNetwork(sim::Network& net, Partition partition)
+    : net_(net),
+      part_(std::move(partition)),
+      lookahead_(std::numeric_limits<SimTime>::infinity()) {
+  if (part_.shards == 0) {
+    throw std::invalid_argument("parsim: partition has zero shards");
+  }
+  if (part_.shard_of.size() != net_.nodes().size()) {
+    throw std::invalid_argument(
+        "parsim: partition covers " + std::to_string(part_.shard_of.size()) +
+        " nodes but the network has " + std::to_string(net_.nodes().size()));
+  }
+  for (const std::uint32_t s : part_.shard_of) {
+    if (s >= part_.shards) {
+      throw std::invalid_argument("parsim: shard id " + std::to_string(s) +
+                                  " out of range");
+    }
+  }
+  extra_sims_.reserve(part_.shards > 0 ? part_.shards - 1 : 0);
+  for (std::size_t s = 1; s < part_.shards; ++s) {
+    extra_sims_.push_back(std::make_unique<sim::Simulator>());
+  }
+  mailboxes_.resize(part_.shards * part_.shards);
+  apply();
+}
+
+void ShardedNetwork::bind_port(sim::Port& port, std::uint32_t owner_shard) {
+  port.bind_simulator(shard_sim(owner_shard));
+  const std::uint32_t peer_shard = part_.of(port.peer()->id());
+  if (peer_shard == owner_shard) {
+    port.set_remote(nullptr);
+    return;
+  }
+  if (!(port.prop_delay() > 0.0)) {
+    throw std::invalid_argument(
+        "parsim: partition cuts a zero-delay link (no lookahead); keep "
+        "zero-latency neighbours in one shard");
+  }
+  auto& mb = mailboxes_[owner_shard * part_.shards + peer_shard];
+  if (mb == nullptr) mb = std::make_unique<Mailbox>();
+  port.set_remote(mb.get());
+  if (port.prop_delay() < lookahead_) lookahead_ = port.prop_delay();
+  ++cross_links_;
+}
+
+void ShardedNetwork::apply() {
+  for (const auto& node : net_.nodes()) {
+    const std::uint32_t shard = part_.of(node->id());
+    if (auto* host = dynamic_cast<sim::Host*>(node.get())) {
+      if (host->has_uplink()) bind_port(host->uplink(), shard);
+      continue;
+    }
+    if (auto* sw = dynamic_cast<sim::Switch*>(node.get())) {
+      for (std::size_t p = 0; p < sw->port_count(); ++p) {
+        bind_port(sw->port(p), shard);
+      }
+    }
+  }
+}
+
+}  // namespace dtdctcp::parsim

@@ -1,0 +1,71 @@
+// ShardedNetwork: moves a built sim::Network onto per-shard simulators.
+//
+// The topology is constructed the normal (serial) way against the
+// network's own simulator; ShardedNetwork then applies a Partition:
+//
+//  * every port is rebound to its owning node's shard simulator (shard
+//    0 keeps the network's original simulator, so the single-shard case
+//    leaves the network untouched);
+//  * every port whose peer lives in a different shard gets a Mailbox —
+//    one per ordered (src shard, dst shard) pair — and from then on
+//    exports transmitted packets instead of scheduling them locally;
+//  * the lookahead is computed as the minimum propagation delay over
+//    all cut links. Cutting a zero-delay link is rejected: it would
+//    collapse the safe window to nothing.
+//
+// ShardedNetwork owns the extra simulators and the mailboxes; it must
+// outlive any traffic run against the partitioned fabric.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "parsim/mailbox.h"
+#include "parsim/partition.h"
+#include "sim/network.h"
+
+namespace dtdctcp::parsim {
+
+class ShardedNetwork {
+ public:
+  /// Applies `partition` to `net`. Throws std::invalid_argument when the
+  /// partition does not cover the network's nodes, names a shard id out
+  /// of range, or cuts a link with zero propagation delay.
+  ShardedNetwork(sim::Network& net, Partition partition);
+
+  std::size_t shards() const { return part_.shards; }
+  sim::Network& net() { return net_; }
+  const Partition& partition() const { return part_; }
+
+  /// Shard 0 is the network's own simulator; the rest are owned here.
+  sim::Simulator& shard_sim(std::size_t s) {
+    return s == 0 ? net_.sim() : *extra_sims_[s - 1];
+  }
+  sim::Simulator& sim_for(sim::NodeId id) { return shard_sim(part_.of(id)); }
+  std::uint32_t shard_of(sim::NodeId id) const { return part_.of(id); }
+
+  /// Minimum propagation delay over cut links — the conservative
+  /// lookahead L. +infinity when no link is cut (single shard).
+  SimTime lookahead() const { return lookahead_; }
+  std::size_t cross_links() const { return cross_links_; }
+
+  /// Mailbox carrying src -> dst cross-shard packets; nullptr when
+  /// src == dst or no cut link connects the pair.
+  Mailbox* mailbox(std::size_t src, std::size_t dst) {
+    return mailboxes_[src * part_.shards + dst].get();
+  }
+
+ private:
+  void apply();
+  void bind_port(sim::Port& port, std::uint32_t owner_shard);
+
+  sim::Network& net_;
+  Partition part_;
+  std::vector<std::unique_ptr<sim::Simulator>> extra_sims_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  ///< dense shards^2
+  SimTime lookahead_;
+  std::size_t cross_links_ = 0;
+};
+
+}  // namespace dtdctcp::parsim

@@ -1,16 +1,38 @@
 #include "sim/leaf_spine.h"
 
+#include <stdexcept>
 #include <string>
 
 #include "queue/factory.h"
 
 namespace dtdctcp::sim {
 
+namespace {
+
+void check_dim(std::size_t v, std::size_t max, const char* what) {
+  if (v == 0 || v > max) {
+    throw std::invalid_argument(std::string("leaf_spine: ") + what + "=" +
+                                std::to_string(v) + " outside [1, " +
+                                std::to_string(max) + "]");
+  }
+}
+
+}  // namespace
+
 LeafSpine build_leaf_spine(const LeafSpineConfig& cfg,
                            const QueueFactory& switch_queue) {
+  check_dim(cfg.spines, LeafSpineConfig::kMaxSpines, "spines");
+  check_dim(cfg.leaves, LeafSpineConfig::kMaxLeaves, "leaves");
+  check_dim(cfg.hosts_per_leaf, LeafSpineConfig::kMaxHostsPerLeaf,
+            "hosts_per_leaf");
+
   LeafSpine out;
   out.net = std::make_unique<Network>();
   Network& net = *out.net;
+
+  out.spines.reserve(cfg.spines);
+  out.leaves.reserve(cfg.leaves);
+  out.hosts.reserve(cfg.total_hosts());
 
   const auto host_nic = queue::drop_tail(0, 0);
 

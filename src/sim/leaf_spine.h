@@ -24,6 +24,27 @@ struct LeafSpineConfig {
   DataRate fabric_link_bps = 40e9;  ///< leaf <-> spine
   SimTime host_link_delay = 5e-6;
   SimTime fabric_link_delay = 5e-6;
+
+  /// Builder sanity limits — sized for stress-scale fabrics (tens of
+  /// thousands of hosts), far above anything the tests build; the
+  /// builder rejects configs beyond them (or with a zero dimension)
+  /// instead of silently allocating garbage.
+  static constexpr std::size_t kMaxSpines = 64;
+  static constexpr std::size_t kMaxLeaves = 512;
+  static constexpr std::size_t kMaxHostsPerLeaf = 512;
+
+  std::size_t total_hosts() const { return leaves * hosts_per_leaf; }
+
+  /// Stress-sized preset: 8 leaves x 32 hosts behind 4 spines (256
+  /// hosts, 2:1 oversubscription at the leaf). The fabric the parsim
+  /// scaling benches and `sim_fuzz --large` run on.
+  static LeafSpineConfig stress() {
+    LeafSpineConfig cfg;
+    cfg.spines = 4;
+    cfg.leaves = 8;
+    cfg.hosts_per_leaf = 32;
+    return cfg;
+  }
 };
 
 struct LeafSpine {
@@ -39,7 +60,9 @@ struct LeafSpine {
 };
 
 /// Builds the fabric; `switch_queue` is installed on every switch
-/// egress port (host NICs get unbounded drop-tail).
+/// egress port (host NICs get unbounded drop-tail). Throws
+/// std::invalid_argument when a dimension is zero or exceeds the
+/// LeafSpineConfig limits.
 LeafSpine build_leaf_spine(const LeafSpineConfig& cfg,
                            const QueueFactory& switch_queue);
 

@@ -3,20 +3,23 @@
 #include <cassert>
 #include <utility>
 
+#include "check/hook.h"
+#include "parsim/mailbox.h"
+
 namespace dtdctcp::sim {
 
 void Port::send(Packet pkt) {
   assert(peer_ != nullptr && "port not wired to a peer");
   if (!busy_ && disc_->packets() == 0) {
-    disc_->on_bypass(pkt, sim_.now());
+    disc_->on_bypass(pkt, sim_->now());
     begin_transmission(std::move(pkt));
     return;
   }
-  if (disc_->enqueue(pkt, sim_.now()) == EnqueueResult::kEnqueued && !busy_) {
+  if (disc_->enqueue(pkt, sim_->now()) == EnqueueResult::kEnqueued && !busy_) {
     // Transmitter idle but queue was non-empty (can happen transiently
     // when a drop callback re-enters send); drain in FIFO order.
     Packet head;
-    const bool got = disc_->dequeue(head, sim_.now());
+    const bool got = disc_->dequeue(head, sim_->now());
     assert(got);
     (void)got;
     begin_transmission(std::move(head));
@@ -25,7 +28,7 @@ void Port::send(Packet pkt) {
 
 void Port::begin_transmission(Packet pkt) {
   busy_ = true;
-  if (trace_ != nullptr) trace_->packet_event("tx", pkt, sim_.now());
+  if (trace_ != nullptr) trace_->packet_event("tx", pkt, sim_->now());
   const SimTime tx = units::transmission_time(pkt.size_bytes, rate_bps_);
   ++packets_sent_;
   bytes_sent_ += pkt.size_bytes;
@@ -33,14 +36,25 @@ void Port::begin_transmission(Packet pkt) {
   // multiple packets; transmitter release is a separate event. Both go
   // through the kernel's typed fast path: no type-erased closure, no
   // allocation, just the payload placed in a recycled event slot.
-  sim_.deliver_after(tx + prop_delay_, peer_, std::move(pkt));
-  sim_.tx_complete_after(tx, this);
+  //
+  // A cross-shard link hands the arrival to the peer shard's mailbox
+  // instead: the arrival timestamp is computed here (same arithmetic as
+  // the local path, so shard placement cannot change timing) and the
+  // consuming shard schedules it after the next window barrier. The
+  // transmitter-release event is always local.
+  if (remote_ == nullptr) {
+    sim_->deliver_after(tx + prop_delay_, peer_, std::move(pkt));
+  } else {
+    DTDCTCP_CHECK_HOOK(packet_exported(this, pkt));
+    remote_->push(sim_->now() + tx + prop_delay_, peer_, std::move(pkt));
+  }
+  sim_->tx_complete_after(tx, this);
 }
 
 void Port::on_transmit_complete() {
   busy_ = false;
   Packet next;
-  if (disc_->dequeue(next, sim_.now())) {
+  if (disc_->dequeue(next, sim_->now())) {
     begin_transmission(std::move(next));
   }
 }

@@ -19,19 +19,37 @@
 #include "sim/simulator.h"
 #include "util/units.h"
 
+namespace dtdctcp::parsim {
+class Mailbox;
+}  // namespace dtdctcp::parsim
+
 namespace dtdctcp::sim {
 
 class Port {
  public:
   Port(Simulator& sim, DataRate rate_bps, SimTime prop_delay,
        std::unique_ptr<QueueDisc> disc)
-      : sim_(sim), rate_bps_(rate_bps), prop_delay_(prop_delay),
+      : sim_(&sim), rate_bps_(rate_bps), prop_delay_(prop_delay),
         disc_(std::move(disc)) {}
 
   /// Sets the node packets are delivered to after propagation.
   void attach_peer(Node* peer) { peer_ = peer; }
 
   Node* peer() const { return peer_; }
+
+  /// Rebinds the port to another event queue. Used by the parsim
+  /// partitioner, which builds the topology against the network's serial
+  /// simulator and then moves each port onto its owning shard's
+  /// simulator. Only legal before any traffic has run.
+  void bind_simulator(Simulator& sim) { sim_ = &sim; }
+  Simulator& simulator() { return *sim_; }
+
+  /// Marks this port's link as crossing a shard boundary: transmitted
+  /// packets are pushed into `mb` (timestamped with their arrival time
+  /// at the peer) instead of being scheduled locally. nullptr restores
+  /// direct local delivery.
+  void set_remote(parsim::Mailbox* mb) { remote_ = mb; }
+  parsim::Mailbox* remote() const { return remote_; }
 
   /// Offers a packet for transmission (drops silently if the discipline
   /// rejects it).
@@ -65,10 +83,11 @@ class Port {
   void begin_transmission(Packet pkt);
   void on_transmit_complete();
 
-  Simulator& sim_;
+  Simulator* sim_;
   DataRate rate_bps_;
   SimTime prop_delay_;
   std::unique_ptr<QueueDisc> disc_;
+  parsim::Mailbox* remote_ = nullptr;
   Node* peer_ = nullptr;
   TraceSink* trace_ = nullptr;
   bool busy_ = false;

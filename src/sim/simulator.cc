@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 
 #include "sim/node.h"
 #include "sim/port.h"
@@ -276,6 +277,33 @@ void Simulator::run() {
   for (;;) {
     if (!pending_.empty()) flush_pending();
     if (stopped_ || (heap_.empty() && cursor_ == sorted_.size())) break;
+    step();
+  }
+}
+
+SimTime Simulator::next_event_time() {
+  if (!pending_.empty()) flush_pending();
+  SimTime next = std::numeric_limits<SimTime>::infinity();
+  if (!heap_.empty()) next = heap_.front().time;
+  if (cursor_ < sorted_.size() && sorted_[cursor_].time < next) {
+    next = sorted_[cursor_].time;
+  }
+  return next;
+}
+
+void Simulator::run_window(SimTime end) {
+  stopped_ = false;
+  for (;;) {
+    if (!pending_.empty()) flush_pending();
+    if (stopped_) break;
+    const bool have_sorted = cursor_ < sorted_.size();
+    if (heap_.empty()) {
+      if (!have_sorted || sorted_[cursor_].time >= end) break;
+    } else if (have_sorted) {
+      if (std::min(heap_.front().time, sorted_[cursor_].time) >= end) break;
+    } else if (heap_.front().time >= end) {
+      break;
+    }
     step();
   }
 }

@@ -301,6 +301,16 @@ class Simulator {
     defer_entry(now_ + dt, slot);
   }
 
+  /// Typed fast path at an absolute time: how cross-shard arrivals enter
+  /// a shard's queue (parsim mailbox drain). The timestamp was computed
+  /// on the sending shard; conservative lookahead guarantees it is never
+  /// in this shard's past, but clamp_time still applies as a backstop.
+  void deliver_at(SimTime t, Node* peer, Packet pkt) {
+    const std::uint32_t slot = acquire_slot();
+    slot_ref(slot).fn.set_deliver(peer, std::move(pkt));
+    defer_entry(t, slot);
+  }
+
   /// Typed fast path: releases `port`'s transmitter after `dt`. The
   /// payload is one pointer, so it rides in the queue entry itself.
   void tx_complete_after(SimTime dt, Port* port) {
@@ -318,6 +328,21 @@ class Simulator {
 
   /// Runs events with time <= t, then sets the clock to t.
   void run_until(SimTime t);
+
+  /// Absolute time of the earliest pending event, or +infinity when the
+  /// queue is empty. This is the horizon query of the conservative
+  /// parallel executor (parsim): the global safe window is
+  /// [min over shards of next_event_time(), +lookahead). Flushes the
+  /// unsorted pending buffer, so it is not const.
+  SimTime next_event_time();
+
+  /// Runs events with time strictly < `end` (the half-open safe window
+  /// of conservative synchronization), honouring stop(). Unlike
+  /// run_until, the clock is NOT advanced to `end`: it stays at the last
+  /// executed event, so a shard's past-time clamp (see clamp_time) is
+  /// always judged against *local* progress, never against a global
+  /// window bound the shard has not actually reached.
+  void run_window(SimTime end);
 
   /// Stops the run loop after the current event handler returns.
   void stop() { stopped_ = true; }

@@ -19,10 +19,18 @@ class Connection {
   /// long-lived flow.
   Connection(sim::Network& net, sim::Host& src, sim::Host& dst,
              const TcpConfig& cfg, std::int64_t total_segments = 0)
+      : Connection(net, net.sim(), net.sim(), src, dst, cfg, total_segments) {}
+
+  /// Partitioned-fabric variant (parsim): each endpoint schedules its
+  /// timers on its own host's shard simulator. With both arguments
+  /// equal to net.sim() this is exactly the serial constructor.
+  Connection(sim::Network& net, sim::Simulator& src_sim,
+             sim::Simulator& dst_sim, sim::Host& src, sim::Host& dst,
+             const TcpConfig& cfg, std::int64_t total_segments = 0)
       : flow_(net.new_flow()),
-        receiver_(std::make_unique<TcpReceiver>(net.sim(), dst, src.id(),
+        receiver_(std::make_unique<TcpReceiver>(dst_sim, dst, src.id(),
                                                 flow_, cfg, total_segments)),
-        sender_(std::make_unique<TcpSender>(net.sim(), src, dst.id(), flow_,
+        sender_(std::make_unique<TcpSender>(src_sim, src, dst.id(), flow_,
                                             cfg, total_segments)) {}
 
   sim::FlowId flow() const { return flow_; }

@@ -13,6 +13,10 @@
 //   sim_fuzz --fluid N [--seed S]
 //       Cross-validate N stable-regime dumbbells against the fluid
 //       model's operating point.
+//   sim_fuzz --large N [--seed S]
+//       Large-scenario mode: N stress-preset leaf-spine fabrics (256
+//       hosts) through the parsim sharded executor with forced
+//       per-shard checkers and a run-twice digest-determinism check.
 //   sim_fuzz --inject MODE [--seed S]
 //       Fault-injection smoke test: commit the named fault
 //       (uncounted-drop, fifo-swap, occupancy-leak, spurious-mark,
@@ -119,6 +123,7 @@ int usage() {
                "       sim_fuzz --repro SEED [--flows N] [--segments N] "
                "[--buffer N] [--shrink]\n"
                "       sim_fuzz --fluid N [--seed S]\n"
+               "       sim_fuzz --large N [--seed S]\n"
                "       sim_fuzz --inject MODE [--seed S]   (MODE: "
                "uncounted-drop fifo-swap occupancy-leak spurious-mark "
                "lost-delivery alpha-range pool-leak pool-overadmit all)\n");
@@ -137,6 +142,7 @@ int main(int argc, char** argv) {
   std::uint64_t repro_seed = 0;
   bool do_shrink = false;
   int fluid_count = 0;
+  int large_count = 0;
   long long ov_flows = -1, ov_segments = -1, ov_buffer = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -169,6 +175,8 @@ int main(int argc, char** argv) {
       do_shrink = true;
     } else if (arg == "--fluid") {
       fluid_count = std::atoi(next());
+    } else if (arg == "--large") {
+      large_count = std::atoi(next());
     } else if (arg == "--inject") {
       inject_mode = next();
     } else if (arg == "--help" || arg == "-h") {
@@ -217,6 +225,34 @@ int main(int argc, char** argv) {
     }
     std::printf("fluid cross-validation: %d/%d within tolerance\n",
                 fluid_count - failures, fluid_count);
+    return failures == 0 ? 0 : 1;
+  }
+
+  // ---- Large sharded-fabric scenarios --------------------------------
+  if (large_count > 0) {
+    int failures = 0;
+    std::uint64_t total_events = 0;
+    for (int i = 0; i < large_count; ++i) {
+      const std::uint64_t seed =
+          derive_seed(base_seed, 0x4c41ULL + static_cast<std::uint64_t>(i));
+      const FuzzResult res = run_large_scenario(seed);
+      total_events += res.events;
+      const bool failed = scenario_failed(res);
+      std::printf("  %s seed=%llu events=%llu violations=%llu "
+                  "ledger=%d completed=%d\n",
+                  failed ? "FAIL" : "ok  ",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(res.events),
+                  static_cast<unsigned long long>(res.violation_count),
+                  res.drained, res.completed);
+      if (failed) {
+        ++failures;
+        print_violations(res, 6);
+      }
+    }
+    std::printf("large-scenario fuzz: %d/%d ok, %llu events checked\n",
+                large_count - failures, large_count,
+                static_cast<unsigned long long>(total_events));
     return failures == 0 ? 0 : 1;
   }
 
