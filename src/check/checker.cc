@@ -8,6 +8,7 @@
 
 #include "queue/drop_tail.h"
 #include "queue/fifo_base.h"
+#include "queue/multi_queue.h"
 #include "sim/host.h"
 #include "sim/queue_disc.h"
 #include "sim/switch.h"
@@ -40,6 +41,7 @@ const char* violation_kind_name(ViolationKind kind) {
     case ViolationKind::kDropLegality: return "drop-legality";
     case ViolationKind::kPoolConservation: return "pool-conservation";
     case ViolationKind::kPoolLegality: return "pool-legality";
+    case ViolationKind::kSchedLegality: return "sched-legality";
     case ViolationKind::kTcpRange: return "tcp-range";
     case ViolationKind::kTcpAccounting: return "tcp-accounting";
     case ViolationKind::kPacket: return "packet";
@@ -124,6 +126,15 @@ void Checker::packet_sanity(const sim::Packet& pkt) {
 
 void Checker::classify(const sim::QueueDisc* d, QueueState& qs) {
   RuleModel& r = qs.rule;
+  if (const auto* m = dynamic_cast<const queue::MultiQueueDisc*>(d)) {
+    // Multi-queue aggregate: its hooks fire AROUND the per-class child
+    // hooks (the parent forwards through the children's public entry
+    // points), so the children own the ledger/FIFO/rule state and the
+    // parent's hooks reduce to the scheduler-legality check. Each child
+    // registers itself on first contact like any other disc.
+    r.agg = m;
+    return;
+  }
   bool pool_ecn = false;
   if (const auto* f = dynamic_cast<const queue::FifoBase*>(d)) {
     r.fifo = true;
@@ -388,6 +399,10 @@ void Checker::queue_offered(const sim::QueueDisc* d, sim::Packet& pkt,
   const std::uint64_t uid = stamp(pkt);
   packet_sanity(pkt);
   QueueState& qs = state_for(d);
+  // Aggregates keep no offer stack: the child's own offered hook (which
+  // fires next, inside the parent's do_enqueue) records the admission
+  // against the class queue actually deciding it.
+  if (qs.rule.agg != nullptr) return;
   qs.offers.push_back(
       Offer{uid, d->packets(), d->bytes(), pkt.ce, pkt.ect});
 }
@@ -396,6 +411,10 @@ void Checker::queue_enqueued(const sim::QueueDisc* d, const sim::Packet& pkt,
                              SimTime now) {
   last_time_ = now;
   QueueState& qs = state_for(d);
+  // The child's enqueued hook already moved the uid to kQueued and did
+  // the shadow/rule/pool work; re-running it at the parent would
+  // double-book every admission.
+  if (qs.rule.agg != nullptr) return;
 
   Offer offer{};
   bool have_offer = false;
@@ -501,6 +520,10 @@ void Checker::queue_rejected(const sim::QueueDisc* d, const sim::Packet& pkt,
                              SimTime now) {
   last_time_ = now;
   QueueState& qs = state_for(d);
+  // The rejecting class queue's hook already counted the drop and
+  // terminated the uid; terminating again here would report a phantom
+  // "terminated twice" conservation breach.
+  if (qs.rule.agg != nullptr) return;
 
   Offer offer{};
   bool have_offer = false;
@@ -550,6 +573,7 @@ void Checker::queue_discarded(const sim::QueueDisc* d, const sim::Packet& pkt,
                               SimTime now) {
   last_time_ = now;
   QueueState& qs = state_for(d);
+  if (qs.rule.agg != nullptr) return;  // internal discards happen per class
   if (qs.synced) {
     if (qs.q.empty() || qs.q.front().uid != pkt.uid) {
       report(ViolationKind::kFifoOrder,
@@ -580,6 +604,35 @@ void Checker::queue_dequeued(const sim::QueueDisc* d, const sim::Packet& pkt,
   ++events_checked_;
   last_time_ = now;
   QueueState& qs = state_for(d);
+
+  if (const queue::MultiQueueDisc* agg = qs.rule.agg) {
+    // The serving class's child hook (fired just before this one) did
+    // the shadow/ledger work and moved the uid back to transit. The
+    // parent owes only the scheduler-legality invariant: strict
+    // priority must never serve a class while a higher one is
+    // backlogged. The child's shadow already popped the served packet,
+    // so each higher class's remaining depth is exactly the backlog the
+    // scheduler stepped over.
+    if (agg->policy() == queue::SchedPolicy::kStrictPriority) {
+      const std::size_t cls = agg->class_of(pkt);
+      for (std::size_t c = 0; c < cls; ++c) {
+        const sim::QueueDisc* child = &agg->child(c);
+        const auto cit = queues_.find(child);
+        const std::size_t backlog =
+            cit != queues_.end() && cit->second.synced ? cit->second.q.size()
+                                                       : child->packets();
+        if (backlog != 0) {
+          report(ViolationKind::kSchedLegality,
+                 fmt("strict-priority breach: served class %zu (uid=%llu) "
+                     "while higher class %zu holds %zu packets",
+                     cls, static_cast<unsigned long long>(pkt.uid), c,
+                     backlog));
+          break;
+        }
+      }
+    }
+    return;
+  }
 
   if (qs.synced) {
     if (qs.q.empty()) {
@@ -703,6 +756,21 @@ void Checker::packet_exported(const sim::Port* p, const sim::Packet& pkt) {
   // loop by matching the sum of exported counts against the mailbox
   // drain totals (see parsim/shard_runner.cc).
   terminate(pkt.uid, &exported_);
+}
+
+void Checker::packet_lost(const sim::Port* p, const sim::Packet& pkt) {
+  (void)p;
+  ++events_checked_;
+  // Link-down backlog discard: the packet was dequeued normally (the
+  // queue-side shadow already released it to transit) and is now lost
+  // instead of serialized onto the dead wire.
+  auto it = live_.find(pkt.uid);
+  if (pkt.uid != 0 && it != live_.end() && it->second.loc != Loc::kTransit) {
+    report(ViolationKind::kConservation,
+           fmt("link-down loss of uid=%llu which was not in transit",
+               static_cast<unsigned long long>(pkt.uid)));
+  }
+  terminate(pkt.uid, &dropped_);
 }
 
 void Checker::packet_injected(const sim::Host* h, sim::Packet& pkt) {

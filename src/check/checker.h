@@ -36,6 +36,10 @@
 #include "queue/ecn_threshold.h"
 #include "sim/packet.h"
 
+namespace dtdctcp::queue {
+class MultiQueueDisc;
+}  // namespace dtdctcp::queue
+
 namespace dtdctcp::check {
 
 /// True when the hook call sites are compiled into this build (all
@@ -52,6 +56,8 @@ enum class ViolationKind : std::uint8_t {
   kDropLegality,   ///< a drop the configured limits cannot explain
   kPoolConservation,  ///< shared-pool used() != sum of member occupancies
   kPoolLegality,   ///< an admission the DT shared-buffer policy forbids
+  kSchedLegality,  ///< priority scheduler served a class past a
+                   ///< backlogged higher class (strict-priority breach)
   kTcpRange,       ///< cwnd/alpha/ssthresh out of bounds
   kTcpAccounting,  ///< receiver byte/segment accounting broken
   kPacket,         ///< malformed packet (zero size, CE without ECT)
@@ -111,6 +117,7 @@ class Checker final : public Hooks {
                       bool ce_before, SimTime now) override;
   void queue_destroyed(const sim::QueueDisc* d) override;
   void packet_exported(const sim::Port* p, const sim::Packet& pkt) override;
+  void packet_lost(const sim::Port* p, const sim::Packet& pkt) override;
   void packet_injected(const sim::Host* h, sim::Packet& pkt) override;
   void packet_delivered(const sim::Host* h, const sim::Packet& pkt) override;
   void packet_unbound(const sim::Host* h, const sim::Packet& pkt) override;
@@ -163,6 +170,11 @@ class Checker final : public Hooks {
   struct RuleModel {
     enum Type : std::uint8_t { kOther, kDropTail, kThreshold, kHysteresis };
     Type type = kOther;
+    /// Non-null when the disc is a multi-queue aggregate
+    /// (queue::MultiQueueDisc): the per-class children carry the real
+    /// ledger/FIFO/rule state, and the parent's hooks (which fire
+    /// around the child hooks) reduce to the scheduler-legality check.
+    const queue::MultiQueueDisc* agg = nullptr;
     // FifoBase limits (drop legality); 0 = unlimited.
     bool fifo = false;
     std::size_t limit_bytes = 0;

@@ -13,9 +13,11 @@
 #include "fluid/fluid_model.h"
 #include "parsim/fabric.h"
 #include "queue/codel.h"
+#include "queue/multi_queue.h"
 #include "queue/ecn_hysteresis.h"
 #include "queue/ecn_threshold.h"
 #include "queue/factory.h"
+#include "sim/fabric.h"
 #include "sim/leaf_spine.h"
 #include "sim/network.h"
 #include "tcp/connection.h"
@@ -87,6 +89,10 @@ struct Rig {
   std::unique_ptr<sim::SharedBufferPool> pool;
   std::unique_ptr<sim::Network> owned_net;  ///< dumbbell / incast
   sim::LeafSpine fabric;                    ///< leaf-spine (owns its net)
+  /// Fat-tree (owns its net). Heap-allocated so link-event closures
+  /// capturing the FatTree* stay valid when the Rig is moved out of
+  /// build_rig.
+  std::unique_ptr<sim::FatTree> fat;
   sim::Network* net = nullptr;
   std::vector<std::unique_ptr<tcp::Connection>> conns;
 };
@@ -121,6 +127,65 @@ Rig build_rig(const FuzzScenario& sc) {
       auto conn = std::make_unique<tcp::Connection>(
           *rig.net, *rig.fabric.hosts[static_cast<std::size_t>(src)],
           *rig.fabric.hosts[static_cast<std::size_t>(dst)], tcp_cfg,
+          sc.segments_per_flow);
+      conn->start_at(rng.uniform(0.0, spread + 1e-9));
+      rig.conns.push_back(std::move(conn));
+    }
+    return rig;
+  }
+
+  if (sc.topology == FuzzTopology::kFatTree) {
+    sim::FatTreeConfig fcfg;
+    fcfg.k = sc.fat_k;
+    if (sc.fat_oversub) fcfg.hosts_per_edge = fcfg.radix() * 2;
+    fcfg.host_link_bps = units::gbps(sc.edge_gbps);
+    fcfg.edge_agg_bps = units::gbps(sc.bottleneck_gbps);
+    fcfg.agg_core_bps = units::gbps(sc.bottleneck_gbps);
+    fcfg.host_link_delay = units::microseconds(sc.rtt_us) / 8.0;
+    fcfg.edge_agg_delay = units::microseconds(sc.rtt_us) / 8.0;
+    fcfg.agg_core_delay = units::microseconds(sc.rtt_us) / 4.0;
+    fcfg.ecmp = sim::EcmpMode::kBalanced;
+    fcfg.ecmp_seed = sc.seed;
+
+    sim::QueueFactory disc = make_disc(sc);
+    if (sc.priority_classes >= 2) {
+      disc = queue::multi_queue(
+          static_cast<std::size_t>(sc.priority_classes), disc,
+          sc.sched_policy == 1 ? queue::SchedPolicy::kWrr
+                               : queue::SchedPolicy::kStrictPriority);
+    }
+    rig.fat = std::make_unique<sim::FatTree>(sim::build_fat_tree(fcfg, disc));
+    rig.net = rig.fat->net.get();
+
+    if (sc.fail_at_us >= 0.0) {
+      sim::FatTree* ft = rig.fat.get();
+      const std::size_t link = sc.fail_link;
+      const SimTime t_down = units::microseconds(sc.fail_at_us);
+      rig.net->sim().at(t_down, [ft, link, t_down] {
+        ft->set_link_state(link, false, t_down);
+      });
+      if (sc.recover_at_us > sc.fail_at_us) {
+        const SimTime t_up = units::microseconds(sc.recover_at_us);
+        rig.net->sim().at(t_up, [ft, link, t_up] {
+          ft->set_link_state(link, true, t_up);
+        });
+      }
+    }
+
+    const std::int64_t n_hosts =
+        static_cast<std::int64_t>(rig.fat->hosts.size());
+    for (int i = 0; i < sc.flows; ++i) {
+      const std::int64_t src = rng.uniform_int(0, n_hosts - 1);
+      std::int64_t dst = rng.uniform_int(0, n_hosts - 2);
+      if (dst >= src) ++dst;
+      tcp::TcpConfig fl = tcp_cfg;
+      if (sc.priority_classes >= 2) {
+        fl.priority = static_cast<std::uint8_t>(
+            i % static_cast<int>(sc.priority_classes));
+      }
+      auto conn = std::make_unique<tcp::Connection>(
+          *rig.net, *rig.fat->hosts[static_cast<std::size_t>(src)],
+          *rig.fat->hosts[static_cast<std::size_t>(dst)], fl,
           sc.segments_per_flow);
       conn->start_at(rng.uniform(0.0, spread + 1e-9));
       rig.conns.push_back(std::move(conn));
@@ -201,6 +266,8 @@ const char* fuzz_topology_name(FuzzTopology t) {
       return "leaf-spine";
     case FuzzTopology::kIncast:
       return "incast";
+    case FuzzTopology::kFatTree:
+      return "fat-tree";
   }
   return "?";
 }
@@ -233,6 +300,19 @@ std::string FuzzScenario::describe() const {
     line += fmt_line(" pool=%zu a=%.1f hr=%zu%s", pool_capacity_packets,
                      pool_alpha, pool_headroom_packets,
                      pool_ecn ? " poolecn" : "");
+  }
+  if (topology == FuzzTopology::kFatTree) {
+    line += fmt_line(" fk=%zu%s", fat_k, fat_oversub ? " oversub" : "");
+    if (priority_classes >= 2) {
+      line += fmt_line(" prio=%d/%s", priority_classes,
+                       sched_policy == 1 ? "wrr" : "strict");
+    }
+    if (fail_at_us >= 0.0) {
+      line += fmt_line(" fail=l%zu@%.0fus", fail_link, fail_at_us);
+      if (recover_at_us > fail_at_us) {
+        line += fmt_line(" up@%.0fus", recover_at_us);
+      }
+    }
   }
   return line;
 }
@@ -313,6 +393,28 @@ FuzzScenario generate_scenario(std::uint64_t seed) {
     sc.pool_headroom_packets =
         static_cast<std::size_t>(rng.uniform_int(0, 4));
     sc.pool_ecn = rng.bernoulli(0.25);
+  }
+
+  // Fat-tree draws come last (same append-only discipline as the pool
+  // block): a late coin flip retargets part of the dumbbell/leaf-spine
+  // seed space onto the fat-tree fabric, with optional multi-queue
+  // priorities and a mid-run link failure/recovery schedule. Incast
+  // seeds keep their many-to-one shape.
+  if (sc.topology != FuzzTopology::kIncast && rng.bernoulli(0.35)) {
+    sc.topology = FuzzTopology::kFatTree;
+    sc.fat_k = rng.bernoulli(0.75) ? 4 : 6;
+    sc.fat_oversub = rng.bernoulli(0.3);
+    if (rng.bernoulli(0.4)) {
+      sc.priority_classes = static_cast<int>(rng.uniform_int(2, 3));
+      sc.sched_policy = rng.bernoulli(0.5) ? 1 : 0;
+    }
+    if (rng.bernoulli(0.5)) {
+      sc.fail_at_us = rng.uniform(100.0, 1500.0);
+      sc.fail_link = static_cast<std::size_t>(rng.uniform_int(0, 1 << 20));
+      if (rng.bernoulli(0.5)) {
+        sc.recover_at_us = sc.fail_at_us + rng.uniform(200.0, 1000.0);
+      }
+    }
   }
   return sc;
 }
@@ -401,6 +503,35 @@ FuzzResult run_large_scenario(std::uint64_t seed) {
   fc.mark_threshold_packets = rng.uniform(20.0, 80.0);
   fc.buffer_packets = static_cast<std::size_t>(rng.uniform_int(150, 400));
   fc.seed = derive_seed(seed, 11);
+  // Fat-tree draws appended after the leaf-spine draws (same stream):
+  // about half the seeds run an oversubscribed k=4 fat-tree instead,
+  // with balanced ECMP, optional 2-class priorities, and an optional
+  // mid-run agg-core link failure (the sharded reroute path).
+  if (rng.bernoulli(0.5)) {
+    fc.topology = parsim::FabricTopology::kFatTree;
+    fc.fat_tree.k = 4;
+    fc.fat_tree.hosts_per_edge = 4;  // 2:1 oversubscribed, 32 hosts
+    fc.fat_tree.ecmp = sim::EcmpMode::kBalanced;
+    fc.fat_tree.ecmp_seed = derive_seed(seed, 13);
+    if (rng.bernoulli(0.5)) {
+      fc.priority_classes = 2;
+      fc.sched_policy = rng.bernoulli(0.5) ? queue::SchedPolicy::kWrr
+                                           : queue::SchedPolicy::kStrictPriority;
+    }
+    if (rng.bernoulli(0.6)) {
+      sim::LinkEvent down;
+      down.time = rng.uniform(300e-6, 2e-3);
+      down.link = static_cast<std::size_t>(rng.uniform_int(0, 1 << 16));
+      down.up = false;
+      fc.link_events.push_back(down);
+      if (rng.bernoulli(0.5)) {
+        sim::LinkEvent up = down;
+        up.time = down.time + rng.uniform(300e-6, 1.5e-3);
+        up.up = true;
+        fc.link_events.push_back(up);
+      }
+    }
+  }
   // Per-shard checkers always on (when compiled), never aborting — the
   // fuzzer wants the violation list, not a crash.
   fc.check = parsim::ShardRunnerOptions::Check::kForce;

@@ -24,7 +24,12 @@
 
 namespace dtdctcp::check {
 
-enum class FuzzTopology : std::uint8_t { kDumbbell, kLeafSpine, kIncast };
+enum class FuzzTopology : std::uint8_t {
+  kDumbbell,
+  kLeafSpine,
+  kIncast,
+  kFatTree,  ///< k-ary fat-tree (sim/fabric.h) with balanced ECMP
+};
 enum class FuzzDisc : std::uint8_t { kDropTail, kThreshold, kHysteresis, kCodel };
 
 const char* fuzz_topology_name(FuzzTopology t);
@@ -61,6 +66,17 @@ struct FuzzScenario {
   double pool_alpha = 0.0;                ///< DT alpha; 0 = static carve
   std::size_t pool_headroom_packets = 0;  ///< guaranteed per-port reserve
   bool pool_ecn = false;                  ///< ECN from shared occupancy
+
+  // Fat-tree dimensions (topology == kFatTree only). Appended after the
+  // pool block so every earlier dimension of a given seed is unchanged
+  // from pre-fabric builds.
+  std::size_t fat_k = 4;     ///< pod count (even: 4 or 6)
+  bool fat_oversub = false;  ///< 2x hosts per edge (oversubscribed edge tier)
+  int priority_classes = 0;  ///< 0/1 = single queue; 2..3 = multi-queue
+  int sched_policy = 0;      ///< 0 = strict priority, 1 = WRR
+  double fail_at_us = -1.0;     ///< link failure time; < 0 = none
+  double recover_at_us = -1.0;  ///< recovery time; < 0 = stays down
+  std::size_t fail_link = 0;    ///< failed link index (mod link count)
 
   /// One-line human-readable summary.
   std::string describe() const;

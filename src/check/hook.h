@@ -57,6 +57,8 @@ enum class Fault : std::uint8_t {
   kAlphaRange,      ///< TcpSender's alpha estimate leaves [0, 1]
   kPoolLeak,        ///< FifoBase dequeue skips the shared-pool release
   kPoolOverAdmit,   ///< FifoBase admits a packet the DT pool rejected
+  kSchedSkip,       ///< MultiQueueDisc strict scheduler serves a lower
+                    ///< class past a backlogged higher class
 };
 
 inline const char* fault_name(Fault f) {
@@ -70,6 +72,7 @@ inline const char* fault_name(Fault f) {
     case Fault::kAlphaRange: return "alpha-range";
     case Fault::kPoolLeak: return "pool-leak";
     case Fault::kPoolOverAdmit: return "pool-overadmit";
+    case Fault::kSchedSkip: return "sched-skip";
   }
   return "?";
 }
@@ -104,6 +107,11 @@ class Hooks {
   /// "exported"; the consuming shard's checker adopts the packet as a
   /// fresh injection when it next touches a hooked component.
   virtual void packet_exported(const sim::Port* p, const sim::Packet& pkt) = 0;
+  /// A queued packet discarded because its port's link went down
+  /// (Port::drop_queued). The packet was dequeued normally first — the
+  /// queue-side accounting already ran — and is now lost instead of
+  /// serialized; its uid terminates as dropped.
+  virtual void packet_lost(const sim::Port* p, const sim::Packet& pkt) = 0;
   virtual void packet_injected(const sim::Host* h, sim::Packet& pkt) = 0;
   virtual void packet_delivered(const sim::Host* h, const sim::Packet& pkt) = 0;
   virtual void packet_unbound(const sim::Host* h, const sim::Packet& pkt) = 0;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "queue/factory.h"
+#include "stats/percentile.h"
 #include "tcp/connection.h"
 #include "util/rng.h"
 
@@ -48,11 +49,24 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 FabricResult run_fabric(const FabricConfig& cfg) {
   FabricResult out;
 
-  const sim::QueueFactory switch_queue = queue::ecn_threshold(
+  sim::QueueFactory switch_queue = queue::ecn_threshold(
       0, cfg.buffer_packets, cfg.mark_threshold_packets,
       queue::ThresholdUnit::kPackets);
-  sim::LeafSpine fabric = sim::build_leaf_spine(cfg.fabric, switch_queue);
-  sim::Network& net = *fabric.net;
+  if (cfg.priority_classes >= 2) {
+    switch_queue = queue::multi_queue(cfg.priority_classes, switch_queue,
+                                      cfg.sched_policy, cfg.wrr_weights);
+  }
+
+  const bool fat = cfg.topology == FabricTopology::kFatTree;
+  sim::LeafSpine ls;
+  sim::FatTree ft;
+  if (fat) {
+    ft = sim::build_fat_tree(cfg.fat_tree, switch_queue);
+  } else {
+    ls = sim::build_leaf_spine(cfg.fabric, switch_queue);
+  }
+  sim::Network& net = fat ? *ft.net : *ls.net;
+  const std::vector<sim::Host*>& hosts = fat ? ft.hosts : ls.hosts;
 
   // Sharding scaffolding first, so connections can bind each endpoint
   // to its host's shard simulator.
@@ -60,27 +74,67 @@ FabricResult run_fabric(const FabricConfig& cfg) {
   std::unique_ptr<ShardRunner> runner;
   if (cfg.shards >= 1) {
     sharded = std::make_unique<ShardedNetwork>(
-        net, leaf_spine_partition(fabric, cfg.fabric, cfg.shards));
+        net, fat ? fat_tree_partition(ft, cfg.shards)
+                 : leaf_spine_partition(ls, cfg.fabric, cfg.shards));
     ShardRunnerOptions opts;
     opts.check = cfg.check;
     opts.check_cfg = cfg.check_cfg;
     runner = std::make_unique<ShardRunner>(*sharded, opts);
   }
 
-  // Cross-rack permutation traffic, host order = flow id order.
-  const std::size_t n = fabric.hosts.size();
+  // Scheduled link failures (fat-tree only). Serial runs mutate the
+  // fabric's own down set; sharded runs give each shard its own copy
+  // and apply the same event on every shard's simulator at the same
+  // simulated time — each shard rewrites only the switches it owns and
+  // drains only the down-link ports it owns.
+  std::vector<std::vector<char>> down_sets;
+  if (fat && !cfg.link_events.empty() && !ft.links.empty()) {
+    sim::FatTree* tree = &ft;
+    if (sharded != nullptr) {
+      down_sets.assign(sharded->shards(),
+                       std::vector<char>(ft.links.size(), 0));
+      ShardedNetwork* sn = sharded.get();
+      for (const sim::LinkEvent& ev : cfg.link_events) {
+        for (std::size_t s = 0; s < sharded->shards(); ++s) {
+          std::vector<char>* down = &down_sets[s];
+          sharded->shard_sim(s).at(ev.time, [tree, sn, down, s, ev] {
+            tree->apply_link_event(
+                *down, ev.link, ev.up, ev.time,
+                [sn, s](const sim::Switch& sw) {
+                  return sn->shard_of(sw.id()) == s;
+                });
+          });
+        }
+      }
+    } else {
+      for (const sim::LinkEvent& ev : cfg.link_events) {
+        net.sim().at(ev.time,
+                     [tree, ev] { tree->set_link_state(ev.link, ev.up, ev.time); });
+      }
+    }
+  }
+
+  // Permutation traffic, host order = flow id order: cross-rack for
+  // leaf-spine, cross-pod for fat-trees (every flow exercises the core).
+  const std::size_t n = hosts.size();
+  const std::size_t group =
+      fat ? ft.cfg.hosts_per_pod() : cfg.fabric.hosts_per_leaf;
   Rng rng(cfg.seed);
   std::vector<std::unique_ptr<tcp::Connection>> conns;
   conns.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    sim::Host& src = *fabric.hosts[i];
-    sim::Host& dst = *fabric.hosts[(i + cfg.fabric.hosts_per_leaf) % n];
+    sim::Host& src = *hosts[i];
+    sim::Host& dst = *hosts[(i + group) % n];
+    tcp::TcpConfig flow_cfg = cfg.tcp;
+    if (cfg.priority_classes >= 2) {
+      flow_cfg.priority = static_cast<std::uint8_t>(i % cfg.priority_classes);
+    }
     auto conn =
         sharded != nullptr
             ? std::make_unique<tcp::Connection>(
                   net, sharded->sim_for(src.id()), sharded->sim_for(dst.id()),
-                  src, dst, cfg.tcp, cfg.segments_per_flow)
-            : std::make_unique<tcp::Connection>(net, src, dst, cfg.tcp,
+                  src, dst, flow_cfg, cfg.segments_per_flow)
+            : std::make_unique<tcp::Connection>(net, src, dst, flow_cfg,
                                                 cfg.segments_per_flow);
     conn->start_at(cfg.start_spread > 0.0
                        ? rng.uniform(0.0, cfg.start_spread)
@@ -107,6 +161,7 @@ FabricResult run_fabric(const FabricConfig& cfg) {
   out.wall_seconds = seconds_since(t0);
 
   Fnv digest;
+  stats::PercentileTracker fct_tracker;
   for (const auto& conn : conns) {
     const tcp::TcpSender& snd = conn->sender();
     if (snd.completed()) {
@@ -114,6 +169,7 @@ FabricResult run_fabric(const FabricConfig& cfg) {
       const double fct = snd.completion_time() - snd.start_time();
       out.sum_fct += fct;
       if (fct > out.max_fct) out.max_fct = fct;
+      fct_tracker.add(fct);
     }
     digest.mix(static_cast<std::uint64_t>(conn->flow()));
     digest.mix(snd.completion_time());
@@ -122,17 +178,30 @@ FabricResult run_fabric(const FabricConfig& cfg) {
     digest.mix(snd.alpha());
     digest.mix(static_cast<std::uint64_t>(conn->receiver().bytes_received()));
   }
-  auto fold_switch = [&](sim::Switch* sw) {
+  out.p99_fct = fct_tracker.p99();
+  auto fold_switch = [&](sim::Switch* sw, bool mix_link_down) {
     const sim::Counters c = sw->counters();
     digest.mix(c);
     out.marks += c.marked;
     out.drops += c.dropped + c.unrouted_dropped;
+    std::uint64_t down_drops = 0;
     for (std::size_t p = 0; p < sw->port_count(); ++p) {
       out.fabric_packets += sw->port(p).packets_sent();
+      down_drops += sw->port(p).link_down_drops();
     }
+    out.link_down_drops += down_drops;
+    // Folded only on the fat-tree path so leaf-spine digests stay
+    // bit-compatible with the pre-fabric harness.
+    if (mix_link_down) digest.mix(down_drops);
   };
-  for (sim::Switch* sw : fabric.leaves) fold_switch(sw);
-  for (sim::Switch* sw : fabric.spines) fold_switch(sw);
+  if (fat) {
+    for (sim::Switch* sw : ft.edges) fold_switch(sw, true);
+    for (sim::Switch* sw : ft.aggs) fold_switch(sw, true);
+    for (sim::Switch* sw : ft.cores) fold_switch(sw, true);
+  } else {
+    for (sim::Switch* sw : ls.leaves) fold_switch(sw, false);
+    for (sim::Switch* sw : ls.spines) fold_switch(sw, false);
+  }
   out.digest = digest.h;
   return out;
 }

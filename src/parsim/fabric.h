@@ -1,34 +1,59 @@
-// Shard-safe leaf-spine traffic harness: one fabric, one scenario,
-// serial or sharded execution — the workload behind the parsim benches,
-// determinism tests, and sim_fuzz --large.
+// Shard-safe fabric traffic harness: one fabric (leaf-spine or k-ary
+// fat-tree), one scenario, serial or sharded execution — the workload
+// behind the parsim/fabric benches, determinism tests, and
+// sim_fuzz --large.
 //
-// Scenario: a cross-rack permutation. Host i opens one finite DCTCP
-// flow to host (i + hosts_per_leaf) mod N, so every flow traverses
-// leaf -> spine -> leaf and every host is both a sender and a receiver.
-// Start times are staggered from the seed. All flow state is
-// shard-local (each TCP endpoint schedules on its own host's shard), so
-// the same scenario runs on any shard count. Determinism guarantees:
-// for a fixed shard count the digest is identical run-to-run, and shard
-// count 1 is byte-identical to the serial (shards == 0) run — both
-// pinned by tests. Different shard counts may order same-timestamp
-// events differently and are not required to match bit-for-bit.
+// Scenario: a cross-rack/cross-pod permutation. Host i opens one finite
+// DCTCP flow to host (i + group) mod N — group is hosts_per_leaf for
+// leaf-spine and hosts_per_pod for a fat-tree — so every flow traverses
+// the full fabric and every host is both a sender and a receiver. Start
+// times are staggered from the seed. All flow state is shard-local
+// (each TCP endpoint schedules on its own host's shard), so the same
+// scenario runs on any shard count. Determinism guarantees: for a fixed
+// shard count the digest is identical run-to-run, and shard count 1 is
+// byte-identical to the serial (shards == 0) run — both pinned by
+// tests. Different shard counts may order same-timestamp events
+// differently and are not required to match bit-for-bit.
+//
+// Fat-tree extras (ignored for leaf-spine):
+//  * link_events schedule mid-run link failures/recoveries; in sharded
+//    runs the same event is applied on every shard against a per-shard
+//    down-set copy, each shard rewriting only the switches it owns.
+//  * priority_classes >= 2 installs a MultiQueueDisc per switch egress
+//    (strict or WRR) and tags flow i with class i % classes.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "parsim/shard_runner.h"
+#include "queue/multi_queue.h"
+#include "sim/fabric.h"
 #include "sim/leaf_spine.h"
 #include "tcp/config.h"
 
 namespace dtdctcp::parsim {
 
+enum class FabricTopology : std::uint8_t { kLeafSpine, kFatTree };
+
 struct FabricConfig {
-  sim::LeafSpineConfig fabric{};
+  FabricTopology topology = FabricTopology::kLeafSpine;
+  sim::LeafSpineConfig fabric{};    ///< used when topology == kLeafSpine
+  sim::FatTreeConfig fat_tree{};    ///< used when topology == kFatTree
+  /// Scheduled link failures/recoveries (fat-tree only). Link indices
+  /// are taken modulo the built fabric's switch-switch link count.
+  std::vector<sim::LinkEvent> link_events;
+  /// 0 or 1 = one queue per port (legacy). >= 2 wraps every switch
+  /// egress in a MultiQueueDisc with that many classes (each class its
+  /// own AQM instance) and tags flow i with priority i % classes.
+  std::size_t priority_classes = 0;
+  queue::SchedPolicy sched_policy = queue::SchedPolicy::kStrictPriority;
+  std::vector<std::uint32_t> wrr_weights;  ///< empty = all weights 1
   /// 0 = pure serial run (no parsim objects at all — the reference for
   /// byte-identity); 1 = single-shard parsim executor; N > 1 = sharded.
   std::size_t shards = 0;
   double mark_threshold_packets = 65.0;  ///< K on every switch egress
-  std::size_t buffer_packets = 250;      ///< per-port limit
+  std::size_t buffer_packets = 250;      ///< per-port (per-class) limit
   tcp::TcpConfig tcp{};
   std::int64_t segments_per_flow = 200;  ///< finite flows; run to drain
   SimTime start_spread = 200e-6;
@@ -39,13 +64,17 @@ struct FabricConfig {
 
 struct FabricResult {
   std::uint64_t events = 0;          ///< sum over shard simulators
-  std::uint64_t fabric_packets = 0;  ///< transmissions on leaf/spine ports
+  std::uint64_t fabric_packets = 0;  ///< transmissions on switch ports
   std::uint64_t marks = 0;
   std::uint64_t drops = 0;
   std::uint64_t flows = 0;
   std::uint64_t completed = 0;
   double sum_fct = 0.0;  ///< seconds, over completed flows
   double max_fct = 0.0;
+  double p99_fct = 0.0;  ///< seconds, over completed flows
+  /// Queued packets discarded because their egress link went down
+  /// (Port::drop_queued) — separate from queue/AQM drops.
+  std::uint64_t link_down_drops = 0;
   /// FNV-1a over every flow's completion state and every switch's
   /// counters, in deterministic (construction) order: a bit-exact
   /// fingerprint of the simulation outcome. Equal digests mean equal

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fabric.h"
 #include "sim/leaf_spine.h"
 
 namespace dtdctcp::parsim {
@@ -32,6 +33,32 @@ Partition leaf_spine_partition(const sim::LeafSpine& fabric,
     p.shard_of[fabric.leaves[l]->id()] = shard;
     for (std::size_t h = 0; h < cfg.hosts_per_leaf; ++h) {
       p.shard_of[fabric.hosts[l * cfg.hosts_per_leaf + h]->id()] = shard;
+    }
+  }
+  return p;
+}
+
+Partition fat_tree_partition(const sim::FatTree& fabric, std::size_t shards) {
+  const std::size_t node_count = fabric.net->nodes().size();
+  if (shards <= 1) return Partition::single(node_count);
+  const sim::FatTreeConfig& cfg = fabric.cfg;
+  shards = std::min(shards, cfg.pods());
+
+  Partition p;
+  p.shards = shards;
+  p.shard_of.assign(node_count, 0);
+  for (std::size_t c = 0; c < fabric.cores.size(); ++c) {
+    p.shard_of[fabric.cores[c]->id()] = static_cast<std::uint32_t>(c % shards);
+  }
+  const std::size_t r = cfg.radix();
+  for (std::size_t pod = 0; pod < cfg.pods(); ++pod) {
+    const auto shard = static_cast<std::uint32_t>(pod % shards);
+    for (std::size_t i = 0; i < r; ++i) {
+      p.shard_of[fabric.aggs[pod * r + i]->id()] = shard;
+      p.shard_of[fabric.edges[pod * r + i]->id()] = shard;
+    }
+    for (std::size_t h = 0; h < cfg.hosts_per_pod(); ++h) {
+      p.shard_of[fabric.hosts[pod * cfg.hosts_per_pod() + h]->id()] = shard;
     }
   }
   return p;

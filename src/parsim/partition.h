@@ -19,6 +19,7 @@
 namespace dtdctcp::sim {
 struct LeafSpine;
 struct LeafSpineConfig;
+struct FatTree;
 }  // namespace dtdctcp::sim
 
 namespace dtdctcp::parsim {
@@ -43,5 +44,13 @@ struct Partition {
 Partition leaf_spine_partition(const sim::LeafSpine& fabric,
                                const sim::LeafSpineConfig& cfg,
                                std::size_t shards);
+
+/// Fat-tree partitioning rule: pods are kept whole — pod `p` (its edge
+/// and agg switches plus every attached host) lands on shard
+/// `p % shards`, core switch `c` on shard `c % shards`. Every cut link
+/// is then an agg<->core link, whose propagation delay is the largest
+/// in the fabric (the natural lookahead); intra-pod edge<->agg and host
+/// links are never cut. `shards` is clamped to the pod count.
+Partition fat_tree_partition(const sim::FatTree& fabric, std::size_t shards);
 
 }  // namespace dtdctcp::parsim

@@ -1,0 +1,152 @@
+// k-ary fat-tree (3-tier Clos) topology builder with seeded per-flow
+// ECMP, heterogeneous per-tier link speeds/delays, and scheduled link
+// up/down events that reroute affected flows mid-run.
+//
+// Canonical fat-tree shape (Al-Fares et al.): k pods, each with k/2
+// edge and k/2 agg switches; (k/2)^2 core switches; edge e in a pod
+// connects to all k/2 pod aggs, agg j connects to cores
+// [j*k/2, (j+1)*k/2). With k/2 hosts per edge the fabric is
+// rearrangeably non-blocking; more hosts per edge oversubscribe the
+// edge tier (a multi-tier Clos in the datacenter sense).
+//
+// ECMP seeding: every switch hashes (flow ^ salt) through
+// Switch::ecmp_pick. kBalanced derives an independent salt per switch
+// from the seed; kPolarized installs one identical non-zero salt
+// everywhere, so each tier repeats the previous tier's decision and the
+// classic hash-polarization collapse (each agg funnels all its flows
+// onto ONE core uplink) is reproducible on demand; kLegacy keeps salt 0
+// (the historical unsalted hash — also polarized, but bit-compatible
+// with pre-salt runs).
+//
+// Link failures ("interface disabled" semantics): a down link's two
+// port queues are drained through Port::drop_queued — every backlogged
+// packet is accounted as a link_down drop, closing the conservation
+// ledger — while packets already serialized onto the wire still
+// deliver. Routes are recomputed around the down set; destinations that
+// become unreachable have their entries CLEARED so traffic hits the
+// counted unrouted-drop guard, never a stale path. Only switch-switch
+// links are failable; host links never fail.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+#include "util/units.h"
+
+namespace dtdctcp::sim {
+
+/// How per-switch ECMP hash salts are assigned by build_fat_tree.
+enum class EcmpMode : std::uint8_t {
+  kLegacy,     ///< salt 0 everywhere: the pre-salt unsalted hash
+  kBalanced,   ///< independent per-switch salts derived from ecmp_seed
+  kPolarized,  ///< one identical non-zero salt everywhere (forced
+               ///< hash polarization, seeded by ecmp_seed)
+};
+
+struct FatTreeConfig {
+  std::size_t k = 4;  ///< pod count; must be even (k/2 is the tier radix)
+
+  /// Hosts attached to each edge switch. 0 = k/2 (the canonical
+  /// non-blocking fat-tree); larger values oversubscribe the edge tier.
+  std::size_t hosts_per_edge = 0;
+
+  // Heterogeneous per-tier links (defaults: 10G hosts, 40G fabric,
+  // growing propagation delay toward the core).
+  DataRate host_link_bps = 10e9;
+  DataRate edge_agg_bps = 40e9;
+  DataRate agg_core_bps = 40e9;
+  SimTime host_link_delay = 2e-6;
+  SimTime edge_agg_delay = 5e-6;
+  SimTime agg_core_delay = 10e-6;
+
+  EcmpMode ecmp = EcmpMode::kLegacy;
+  std::uint64_t ecmp_seed = 1;  ///< drives kBalanced / kPolarized salts
+
+  /// Builder sanity limits (k=16 is a 1024-host canonical fabric).
+  static constexpr std::size_t kMaxK = 16;
+  static constexpr std::size_t kMaxHostsPerEdge = 64;
+
+  std::size_t radix() const { return k / 2; }
+  std::size_t pods() const { return k; }
+  std::size_t edge_hosts() const {
+    return hosts_per_edge == 0 ? radix() : hosts_per_edge;
+  }
+  std::size_t cores() const { return radix() * radix(); }
+  std::size_t aggs_per_pod() const { return radix(); }
+  std::size_t edges_per_pod() const { return radix(); }
+  std::size_t hosts_per_pod() const { return radix() * edge_hosts(); }
+  std::size_t total_hosts() const { return k * hosts_per_pod(); }
+  /// Switch-switch links: k pods x (k/2 edges x k/2 aggs) intra-pod
+  /// plus k pods x (k/2 aggs x k/2 core uplinks).
+  std::size_t total_fabric_links() const { return 2 * k * radix() * radix(); }
+};
+
+/// One switch<->switch link (the failable set). Identified by its two
+/// (switch, egress port) endpoints.
+struct FabricLink {
+  enum class Tier : std::uint8_t { kEdgeAgg, kAggCore };
+  Switch* a = nullptr;
+  std::size_t a_port = 0;
+  Switch* b = nullptr;
+  std::size_t b_port = 0;
+  Tier tier = Tier::kEdgeAgg;
+};
+
+/// A scheduled link state change applied mid-run.
+struct LinkEvent {
+  SimTime time = 0.0;
+  std::size_t link = 0;  ///< index into FatTree::links (mod link count)
+  bool up = false;       ///< false: fails at `time`; true: recovers
+};
+
+struct FatTree {
+  std::unique_ptr<Network> net;
+  FatTreeConfig cfg;
+  std::vector<Switch*> cores;
+  std::vector<Switch*> aggs;   ///< grouped by pod: aggs[p*radix + j]
+  std::vector<Switch*> edges;  ///< grouped by pod: edges[p*radix + e]
+  std::vector<Host*> hosts;    ///< grouped by edge switch, pods in order
+  std::vector<FabricLink> links;
+  /// Serial-run link state (1 = down), maintained by set_link_state.
+  /// Sharded runs keep one copy per shard and use apply_link_event.
+  std::vector<char> link_down;
+
+  std::size_t pod_of_host(std::size_t host_index) const {
+    return host_index / cfg.hosts_per_pod();
+  }
+
+  /// Serial convenience: brings `link` down (or back up) now —
+  /// recomputes every switch's routes around the updated down set and,
+  /// on failure, drains both port queues of the link. Returns the
+  /// number of packets discarded from the drained queues.
+  std::size_t set_link_state(std::size_t link, bool up, SimTime now);
+
+  /// Shard-safe variant working on the CALLER's down-set copy: rewrites
+  /// routes only for switches where `mine(switch)` is true (null = all)
+  /// and drains only down-link ports owned by such switches. Every
+  /// shard must apply the same event at the same simulated time against
+  /// its own `down` vector; all shards compute the same BFS, so the
+  /// distributed tables stay consistent.
+  std::size_t apply_link_event(
+      std::vector<char>& down, std::size_t link, bool up, SimTime now,
+      const std::function<bool(const Switch&)>& mine);
+
+  /// Recomputes routes honouring `down` for switches accepted by `mine`
+  /// (null = all). Exposed for tests; set_link_state/apply_link_event
+  /// call it internally.
+  void rebuild_routes(const std::vector<char>& down,
+                      const std::function<bool(const Switch&)>& mine);
+};
+
+/// Builds the fabric; `switch_queue` is installed on every switch
+/// egress port (host NICs get unbounded drop-tail). Throws
+/// std::invalid_argument for odd/zero k or dimensions beyond the
+/// FatTreeConfig limits.
+FatTree build_fat_tree(const FatTreeConfig& cfg,
+                       const QueueFactory& switch_queue);
+
+}  // namespace dtdctcp::sim

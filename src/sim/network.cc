@@ -50,13 +50,17 @@ std::pair<std::size_t, std::size_t> Network::connect_switches(
   return {ia, ib};
 }
 
-void Network::build_routes() {
+void Network::rebuild_routes(const PortFilter& usable,
+                             const SwitchFilter& write) {
   // Shortest-path routing with equal-cost multipath: for every host H,
   // a backward BFS over the switch graph yields each switch's distance
   // to H; a port is a valid first hop when it leads to H directly or to
   // a switch one step closer. All equal-cost ports are installed as an
   // ECMP group (one-port groups degenerate to plain forwarding).
   constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+  const auto port_ok = [&](Switch* sw, std::size_t p) {
+    return usable == nullptr || usable(*sw, p);
+  };
 
   for (Host* dst : hosts_) {
     std::unordered_map<NodeId, std::size_t> dist;  // switch id -> hops to dst
@@ -65,7 +69,7 @@ void Network::build_routes() {
     // Seed: switches with a port directly to the destination host.
     for (Switch* sw : switches_) {
       for (std::size_t p = 0; p < sw->port_count(); ++p) {
-        if (sw->port(p).peer() == dst) {
+        if (sw->port(p).peer() == dst && port_ok(sw, p)) {
           dist[sw->id()] = 1;
           frontier.push_back(sw);
           break;
@@ -81,6 +85,9 @@ void Network::build_routes() {
         assert(peer != nullptr && "dangling port");
         auto* peer_sw = dynamic_cast<Switch*>(peer);
         if (peer_sw == nullptr) continue;
+        // `usable` is symmetric per link, so filtering this direction
+        // also keeps the BFS from discovering peers across a down link.
+        if (!port_ok(sw, p)) continue;
         if (dist.count(peer_sw->id())) continue;
         dist[peer_sw->id()] = d + 1;
         frontier.push_back(peer_sw);
@@ -88,22 +95,28 @@ void Network::build_routes() {
     }
 
     for (Switch* sw : switches_) {
+      if (write != nullptr && !write(*sw)) continue;
       const auto it = dist.find(sw->id());
       const std::size_t d = it == dist.end() ? kUnreachable : it->second;
-      if (d == kUnreachable) continue;
       std::vector<std::size_t> group;
-      for (std::size_t p = 0; p < sw->port_count(); ++p) {
-        Node* peer = sw->port(p).peer();
-        if (peer == dst && d == 1) {
-          group.push_back(p);
-          continue;
+      if (d != kUnreachable) {
+        for (std::size_t p = 0; p < sw->port_count(); ++p) {
+          if (!port_ok(sw, p)) continue;
+          Node* peer = sw->port(p).peer();
+          if (peer == dst && d == 1) {
+            group.push_back(p);
+            continue;
+          }
+          auto* peer_sw = dynamic_cast<Switch*>(peer);
+          if (peer_sw == nullptr) continue;
+          const auto pit = dist.find(peer_sw->id());
+          if (pit != dist.end() && pit->second + 1 == d) group.push_back(p);
         }
-        auto* peer_sw = dynamic_cast<Switch*>(peer);
-        if (peer_sw == nullptr) continue;
-        const auto pit = dist.find(peer_sw->id());
-        if (pit != dist.end() && pit->second + 1 == d) group.push_back(p);
       }
-      if (!group.empty()) sw->set_routes(dst->id(), std::move(group));
+      // Install unconditionally: an empty group CLEARS any stale entry
+      // (the single-shot builder skipped unreachable destinations, which
+      // was correct only because nothing ever rebuilt).
+      sw->set_routes(dst->id(), std::move(group));
     }
   }
 }

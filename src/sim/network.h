@@ -41,9 +41,27 @@ class Network {
       Switch& a, Switch& b, DataRate rate_bps, SimTime prop_delay,
       const QueueFactory& a_disc, const QueueFactory& b_disc);
 
+  /// Port usability predicate for route computation: return false to
+  /// exclude the port (its link is down). The predicate is link-level —
+  /// when a link is down, BOTH endpoints' ports toward each other must
+  /// return false, or the BFS and the installed groups disagree.
+  using PortFilter = std::function<bool(const Switch&, std::size_t)>;
+  /// Limits which switches' tables a rebuild rewrites (sharded runs
+  /// rewrite only the switches they own, all shards computing the same
+  /// BFS so the distributed tables agree).
+  using SwitchFilter = std::function<bool(const Switch&)>;
+
   /// Computes shortest-path static routes from every switch to every
   /// host. Call after the topology is complete, before running traffic.
-  void build_routes();
+  void build_routes() { rebuild_routes(nullptr, nullptr); }
+
+  /// Recomputes routes honouring `usable` (null = every port usable)
+  /// and rewriting only switches accepted by `write` (null = all).
+  /// Unlike the historical single-shot build, a rebuild always installs
+  /// the group — including an EMPTY group when the destination became
+  /// unreachable — so stale pre-failure routes are cleared and packets
+  /// hit the counted unrouted-drop guard instead of a dead path.
+  void rebuild_routes(const PortFilter& usable, const SwitchFilter& write);
 
   /// Allocates a unique flow id.
   FlowId new_flow() { return next_flow_++; }

@@ -66,6 +66,10 @@ struct Packet {
   /// True if this data segment is a retransmission (RTT samples from the
   /// matching ACK are discarded, Karn's rule).
   bool retransmit : 1 = false;
+  /// Priority class tag (PBS-style flow-size/deadline classification,
+  /// stamped at the sender): 0 is the highest class. Multi-queue ports
+  /// map it to a per-class queue; single-queue ports ignore it.
+  std::uint8_t prio : 2 = 0;
 
   /// Absolute segment index of SACK block `i`'s first segment.
   std::int64_t sack_begin(int i) const {

@@ -26,6 +26,18 @@ void Port::send(Packet pkt) {
   }
 }
 
+std::size_t Port::drop_queued(SimTime now) {
+  std::size_t n = 0;
+  Packet pkt;
+  while (disc_->dequeue(pkt, now)) {
+    if (trace_ != nullptr) trace_->packet_event("loss", pkt, now);
+    DTDCTCP_CHECK_HOOK(packet_lost(this, pkt));
+    ++link_down_drops_;
+    ++n;
+  }
+  return n;
+}
+
 void Port::begin_transmission(Packet pkt) {
   busy_ = true;
   if (trace_ != nullptr) trace_->packet_event("tx", pkt, sim_->now());

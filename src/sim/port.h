@@ -55,6 +55,19 @@ class Port {
   /// rejects it).
   void send(Packet pkt);
 
+  /// Discards every queued packet — the link went down ("interface
+  /// disabled" semantics: the backlog is lost, while packets already
+  /// serialized onto the wire still deliver). Each packet is dequeued
+  /// through the discipline, so marking/occupancy/shared-pool accounting
+  /// run exactly as for a transmission, and is then dropped instead of
+  /// serialized (counted in `link_down_drops`, reported to the checker
+  /// via the packet_lost hook so the conservation ledger closes).
+  /// Returns the number of packets discarded.
+  std::size_t drop_queued(SimTime now);
+
+  /// Packets lost to drop_queued() (link-failure backlog discards).
+  std::uint64_t link_down_drops() const { return link_down_drops_; }
+
   /// Attaches a per-packet tracer for transmission events ("tx").
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
@@ -93,6 +106,7 @@ class Port {
   bool busy_ = false;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t link_down_drops_ = 0;
 };
 
 }  // namespace dtdctcp::sim

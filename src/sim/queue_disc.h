@@ -92,7 +92,9 @@ class QueueDisc {
   std::uint64_t marks() const { return marks_; }
 
   /// Exact event totals for this discipline (see sim/counters.h).
-  Counters counters() const {
+  /// Virtual so aggregates (queue::MultiQueueDisc) can report the sum
+  /// of their per-class children instead of their own wrapper counts.
+  virtual Counters counters() const {
     Counters c;
     c.offered = offered_;
     c.enqueued = enqueued_;

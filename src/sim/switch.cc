@@ -33,7 +33,8 @@ void Switch::receive(Packet pkt) {
     return;
   }
   const std::size_t member =
-      group->size() == 1 ? 0 : ecmp_pick(pkt.flow, group->size());
+      group->size() == 1 ? 0
+                         : ecmp_pick(pkt.flow, group->size(), ecmp_salt_);
   ports_[(*group)[member]]->send(std::move(pkt));
 }
 

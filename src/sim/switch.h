@@ -48,17 +48,36 @@ class Switch final : public Node {
 
   /// The deterministic flow -> member hash used for ECMP (exposed so
   /// tests and traffic generators can predict path assignment).
-  static std::size_t ecmp_pick(FlowId flow, std::size_t group_size) {
+  /// `salt` perturbs the hash per switch: salt 0 is the legacy unsalted
+  /// hash, so every switch repeats the same decision (the
+  /// hash-polarization failure mode multi-tier fabrics must be able to
+  /// reproduce); distinct salts give independent decisions per tier.
+  static std::size_t ecmp_pick(FlowId flow, std::size_t group_size,
+                               std::uint64_t salt = 0) {
+    std::uint64_t x = static_cast<std::uint64_t>(flow);
+    if (salt != 0) {
+      // splitmix64 finalizer over (flow ^ salt): full avalanche, so
+      // per-switch salts decorrelate the member choice across tiers.
+      x ^= salt;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      x ^= x >> 31;
+    }
     // Fibonacci hashing spreads consecutive flow ids across members.
-    const std::uint64_t h =
-        static_cast<std::uint64_t>(flow) * 0x9e3779b97f4a7c15ULL;
+    const std::uint64_t h = x * 0x9e3779b97f4a7c15ULL;
     return static_cast<std::size_t>((h >> 33) % group_size);
   }
+
+  /// Per-switch ECMP hash salt used by receive(); 0 (the default) keeps
+  /// the pre-salt behaviour bit-for-bit.
+  void set_ecmp_salt(std::uint64_t salt) { ecmp_salt_ = salt; }
+  std::uint64_t ecmp_salt() const { return ecmp_salt_; }
 
  private:
   std::vector<std::unique_ptr<Port>> ports_;
   std::vector<std::vector<std::uint32_t>> routes_;  ///< dst -> port group
   std::uint64_t unrouted_drops_ = 0;
+  std::uint64_t ecmp_salt_ = 0;
 };
 
 }  // namespace dtdctcp::sim

@@ -67,6 +67,11 @@ struct TcpConfig {
   /// rate cwnd/SRTT instead of in ACK-clocked bursts. Smooths the
   /// synchronized-burst queue spikes that drive Incast drops.
   bool pacing = false;
+
+  /// Priority class stamped on every segment (and its ACKs): 0 is the
+  /// highest class. Only multi-queue switch ports act on it; Packet
+  /// carries 2 bits, so classes above 3 saturate.
+  std::uint8_t priority = 0;
 };
 
 }  // namespace dtdctcp::tcp

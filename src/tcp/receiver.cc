@@ -101,6 +101,7 @@ void TcpReceiver::send_ack(const sim::Packet& trigger, bool ece,
   ack.ect = false;  // pure ACKs are not ECN-capable (RFC 3168)
   ack.ts_echo = trigger.ts_echo;
   ack.retransmit = trigger.retransmit;
+  ack.prio = trigger.prio;  // ACKs ride in the flow's priority class
   if (cfg_.sack_enabled) attach_sack_blocks(ack, trigger.seq);
   local_.send(ack);
 }

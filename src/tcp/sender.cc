@@ -398,6 +398,7 @@ void TcpSender::send_segment(std::int64_t seq, bool retransmit) {
             cfg_.mode == CcMode::kD2tcp;
   pkt.ts_echo = sim_.now();
   pkt.retransmit = retransmit;
+  pkt.prio = cfg_.priority <= 3 ? cfg_.priority : 3;
   if (cwr_pending_) {
     pkt.cwr = true;
     cwr_pending_ = false;

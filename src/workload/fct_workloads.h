@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "queue/factory.h"
+#include "queue/multi_queue.h"
 #include "queue/pie.h"
 #include "sim/counters.h"
 #include "sim/network.h"
@@ -140,6 +141,15 @@ struct FctWorkloadConfig {
   double pool_alpha = 0.0;             ///< DT coefficient; 0 = no DT cap
   std::size_t pool_headroom_pkts = 0;  ///< guaranteed per-port reserve
   bool pool_ecn = false;               ///< mark on shared, not port, depth
+
+  /// >= 2 wraps the bottleneck egress in a MultiQueueDisc of that many
+  /// classes — each class its own fct_marking instance (and, with the
+  /// shared pool on, its own pooled wrapper charging the pool) — and
+  /// stamps every flow's priority from its sampled size: class bounds
+  /// split at the generator's small/large cutoffs, so short flows ride
+  /// class 0 (PBS-style size tagging). 0 or 1 = single queue (legacy).
+  std::size_t priority_classes = 0;
+  queue::SchedPolicy sched_policy = queue::SchedPolicy::kStrictPriority;
 };
 
 struct FctWorkloadResult {
@@ -185,12 +195,20 @@ inline FctWorkloadResult run_fct_workload(const FctWorkloadConfig& cfg) {
   auto& sw = net.add_switch("sw");
   auto& sink = net.add_host("sink");
   const auto edge = queue::drop_tail(0, 0);
-  // The contended queue is the switch's sink-facing egress.
-  const std::size_t sink_port = net.attach_host(
-      sink, sw, cfg.link_bps, 25e-6, edge,
+  // The contended queue is the switch's sink-facing egress. With
+  // priority classes the multi-queue wraps per-class pooled markers, so
+  // each class runs its own AQM and charges the pool under its own DT
+  // share.
+  sim::QueueFactory bottleneck =
       pool_wrap(fct_marking(cfg.scheme, cfg.buffer_pkts, cfg.link_bps),
                 cfg.pool_ecn ? queue::EcnOccupancySource::kSharedPool
-                             : queue::EcnOccupancySource::kPortQueue));
+                             : queue::EcnOccupancySource::kPortQueue);
+  if (cfg.priority_classes >= 2) {
+    bottleneck = queue::multi_queue(cfg.priority_classes, bottleneck,
+                                    cfg.sched_policy);
+  }
+  const std::size_t sink_port =
+      net.attach_host(sink, sw, cfg.link_bps, 25e-6, edge, bottleneck);
   std::vector<sim::Host*> senders;
   senders.reserve(cfg.senders);
   for (std::size_t i = 0; i < cfg.senders; ++i) {
@@ -216,6 +234,12 @@ inline FctWorkloadResult run_fct_workload(const FctWorkloadConfig& cfg) {
   pcfg.duration = cfg.duration;
   pcfg.seed = cfg.seed;
   pcfg.flow_deadline = cfg.flow_deadline;
+  if (cfg.priority_classes >= 2) {
+    pcfg.priority_bounds.push_back(pcfg.small_cutoff_segments);
+    if (cfg.priority_classes >= 3) {
+      pcfg.priority_bounds.push_back(pcfg.large_cutoff_segments);
+    }
+  }
 
   tcp::FlowMetricsCollector collector(pcfg.small_cutoff_segments,
                                       pcfg.large_cutoff_segments);

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "queue/multi_queue.h"
 #include "sim/network.h"
 #include "stats/percentile.h"
 #include "tcp/connection.h"
@@ -92,6 +93,13 @@ struct PoissonConfig {
   /// so the sender acts on it — the met/missed accounting works for any
   /// mode, which is how the deadline-blind baseline is measured).
   SimTime flow_deadline = 0.0;
+
+  /// When non-empty, each flow's TcpConfig::priority is stamped from
+  /// its sampled size via queue::classify_flow_size(segments, bounds) —
+  /// the PBS-style tagging where small flows land in the higher class.
+  /// Only multi-queue ports act on the tag, so this is inert on
+  /// single-queue topologies.
+  std::vector<std::int64_t> priority_bounds;
 };
 
 /// Arrival rate that offers `load` (0..1) of `capacity_bps` given the
@@ -161,6 +169,9 @@ class PoissonFlowGenerator {
     tcp::TcpConfig flow_cfg = tcp_cfg_;
     if (cfg_.flow_deadline > 0.0) {
       flow_cfg.deadline = now + cfg_.flow_deadline;
+    }
+    if (!cfg_.priority_bounds.empty()) {
+      flow_cfg.priority = queue::classify_flow_size(segs, cfg_.priority_bounds);
     }
     auto conn =
         std::make_unique<tcp::Connection>(net_, *src, *dst, flow_cfg, segs);

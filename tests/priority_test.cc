@@ -1,0 +1,269 @@
+// Multi-queue port scheduling conformance: strict-priority ordering and
+// starvation, WRR weight conformance within a rotation, PBS-style
+// flow-size classification boundaries, per-class counter aggregation,
+// and the checker's scheduler-legality invariant (clean runs are silent,
+// an injected priority inversion is flagged).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "check/checker.h"
+#include "queue/drop_tail.h"
+#include "queue/factory.h"
+#include "queue/multi_queue.h"
+#include "sim/network.h"
+#include "tcp/connection.h"
+#include "util/units.h"
+
+namespace dtdctcp {
+namespace {
+
+std::unique_ptr<queue::MultiQueueDisc> make_mq(
+    std::size_t classes, queue::SchedPolicy policy,
+    std::vector<std::uint32_t> weights = {},
+    std::size_t per_class_packet_limit = 0) {
+  std::vector<std::unique_ptr<sim::QueueDisc>> kids;
+  for (std::size_t i = 0; i < classes; ++i) {
+    kids.push_back(
+        std::make_unique<queue::DropTailQueue>(0, per_class_packet_limit));
+  }
+  return std::make_unique<queue::MultiQueueDisc>(std::move(kids), policy,
+                                                 std::move(weights));
+}
+
+sim::Packet tagged(std::uint8_t prio, sim::FlowId flow = 1) {
+  sim::Packet p;
+  p.flow = flow;
+  p.size_bytes = 1000;
+  p.prio = prio & 0x3;
+  return p;
+}
+
+TEST(StrictPriority, HighClassAlwaysDrainsFirst) {
+  auto mq = make_mq(2, queue::SchedPolicy::kStrictPriority);
+  // Interleaved arrivals; departures must be fully segregated.
+  for (int i = 0; i < 10; ++i) {
+    sim::Packet low = tagged(1);
+    sim::Packet high = tagged(0);
+    ASSERT_EQ(mq->enqueue(low, 0.0), sim::EnqueueResult::kEnqueued);
+    ASSERT_EQ(mq->enqueue(high, 0.0), sim::EnqueueResult::kEnqueued);
+  }
+  std::vector<int> order;
+  sim::Packet out;
+  while (mq->dequeue(out, 1e-6)) order.push_back(out.prio);
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], 0);
+  for (int i = 10; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(StrictPriority, NewHighArrivalPreemptsBackloggedLowClass) {
+  auto mq = make_mq(2, queue::SchedPolicy::kStrictPriority);
+  for (int i = 0; i < 3; ++i) {
+    sim::Packet low = tagged(1);
+    ASSERT_EQ(mq->enqueue(low, 0.0), sim::EnqueueResult::kEnqueued);
+  }
+  sim::Packet out;
+  // Work conservation: the low class is served while nothing outranks it.
+  ASSERT_TRUE(mq->dequeue(out, 1e-6));
+  EXPECT_EQ(out.prio, 1);
+  // A high-class arrival jumps the remaining low backlog.
+  sim::Packet high = tagged(0);
+  ASSERT_EQ(mq->enqueue(high, 2e-6), sim::EnqueueResult::kEnqueued);
+  ASSERT_TRUE(mq->dequeue(out, 3e-6));
+  EXPECT_EQ(out.prio, 0);
+  ASSERT_TRUE(mq->dequeue(out, 4e-6));
+  EXPECT_EQ(out.prio, 1);
+}
+
+TEST(Wrr, ServesExactlyWeightPacketsPerBackloggedRotation) {
+  auto mq = make_mq(2, queue::SchedPolicy::kWrr, {3, 1});
+  for (int i = 0; i < 9; ++i) {
+    sim::Packet p = tagged(0);
+    ASSERT_EQ(mq->enqueue(p, 0.0), sim::EnqueueResult::kEnqueued);
+  }
+  for (int i = 0; i < 3; ++i) {
+    sim::Packet p = tagged(1);
+    ASSERT_EQ(mq->enqueue(p, 0.0), sim::EnqueueResult::kEnqueued);
+  }
+  // Both classes stay backlogged for three full rotations: the service
+  // pattern must be exactly 3x class0, 1x class1, repeated.
+  std::vector<int> order;
+  sim::Packet out;
+  while (mq->dequeue(out, 1e-6)) order.push_back(out.prio);
+  const std::vector<int> expect = {0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Wrr, SkipsEmptyClassesWithoutIdling) {
+  auto mq = make_mq(3, queue::SchedPolicy::kWrr, {4, 2, 1});
+  // Only the lowest class has traffic: WRR must serve it back-to-back.
+  for (int i = 0; i < 5; ++i) {
+    sim::Packet p = tagged(2);
+    ASSERT_EQ(mq->enqueue(p, 0.0), sim::EnqueueResult::kEnqueued);
+  }
+  sim::Packet out;
+  int served = 0;
+  while (mq->dequeue(out, 1e-6)) {
+    EXPECT_EQ(out.prio, 2);
+    ++served;
+  }
+  EXPECT_EQ(served, 5);
+}
+
+TEST(Classifier, FlowSizeBoundariesAreExclusiveUpperBounds) {
+  const std::vector<std::int64_t> bounds = {70, 670};
+  EXPECT_EQ(queue::classify_flow_size(1, bounds), 0);
+  EXPECT_EQ(queue::classify_flow_size(69, bounds), 0);
+  EXPECT_EQ(queue::classify_flow_size(70, bounds), 1);   // boundary: >= is next class
+  EXPECT_EQ(queue::classify_flow_size(669, bounds), 1);
+  EXPECT_EQ(queue::classify_flow_size(670, bounds), 2);
+  EXPECT_EQ(queue::classify_flow_size(1 << 20, bounds), 2);
+  // More bounds than Packet::prio can carry: clamps to class 3.
+  const std::vector<std::int64_t> many = {1, 2, 3, 4, 5};
+  EXPECT_EQ(queue::classify_flow_size(100, many), 3);
+  // No bounds: everything is class 0.
+  EXPECT_EQ(queue::classify_flow_size(100, {}), 0);
+}
+
+TEST(Classifier, OutOfRangeTagsLandInTheLowestClass) {
+  auto mq = make_mq(2, queue::SchedPolicy::kStrictPriority);
+  sim::Packet wild = tagged(3);  // tag beyond the configured class count
+  EXPECT_EQ(mq->class_of(wild), 1u);
+  ASSERT_EQ(mq->enqueue(wild, 0.0), sim::EnqueueResult::kEnqueued);
+  sim::Packet high = tagged(0);
+  ASSERT_EQ(mq->enqueue(high, 0.0), sim::EnqueueResult::kEnqueued);
+  // The clamped packet behaves as (and is outranked by) class 1.
+  EXPECT_EQ(mq->child(1).packets(), 1u);
+  sim::Packet out;
+  ASSERT_TRUE(mq->dequeue(out, 1e-6));
+  EXPECT_EQ(out.prio, 0);
+}
+
+TEST(Counters, ParentAggregatesExactlyTheChildren) {
+  auto mq = make_mq(2, queue::SchedPolicy::kStrictPriority, {},
+                    /*per_class_packet_limit=*/2);
+  // 4 high arrivals into a 2-packet class queue: 2 admitted, 2 dropped.
+  for (int i = 0; i < 4; ++i) {
+    sim::Packet p = tagged(0);
+    mq->enqueue(p, 0.0);
+  }
+  sim::Packet low = tagged(1);
+  ASSERT_EQ(mq->enqueue(low, 0.0), sim::EnqueueResult::kEnqueued);
+  EXPECT_EQ(mq->packets(), 3u);
+  sim::Packet out;
+  ASSERT_TRUE(mq->dequeue(out, 1e-6));
+
+  const sim::Counters total = mq->counters();
+  EXPECT_EQ(total.offered, 5u);
+  EXPECT_EQ(total.enqueued, 3u);
+  EXPECT_EQ(total.dropped, 2u);
+  EXPECT_EQ(total.dequeued, 1u);
+  sim::Counters summed;
+  summed += mq->child(0).counters();
+  summed += mq->child(1).counters();
+  EXPECT_EQ(total.offered, summed.offered);
+  EXPECT_EQ(total.enqueued, summed.enqueued);
+  EXPECT_EQ(total.dequeued, summed.dequeued);
+  EXPECT_EQ(total.dropped, summed.dropped);
+  EXPECT_EQ(total.marked, summed.marked);
+  EXPECT_EQ(mq->packets(), mq->child(0).packets() + mq->child(1).packets());
+}
+
+TEST(SchedLegality, CleanStrictRunRaisesNoViolations) {
+  if (!check::compiled()) GTEST_SKIP() << "check hooks compiled out";
+  check::CheckConfig cc;
+  cc.abort_on_violation = false;
+  check::CheckScope scope(cc);
+  ASSERT_NE(scope.checker(), nullptr);
+  {
+    auto mq = make_mq(2, queue::SchedPolicy::kStrictPriority);
+    for (int i = 0; i < 8; ++i) {
+      sim::Packet p = tagged(static_cast<std::uint8_t>(i % 2));
+      ASSERT_EQ(mq->enqueue(p, 1e-6 * i), sim::EnqueueResult::kEnqueued);
+    }
+    sim::Packet out;
+    while (mq->dequeue(out, 1e-3)) {
+    }
+  }
+  EXPECT_EQ(scope.checker()->violation_count(), 0u);
+}
+
+TEST(SchedLegality, InjectedPriorityInversionIsFlagged) {
+  if (!check::compiled()) GTEST_SKIP() << "check hooks compiled out";
+  check::CheckConfig cc;
+  cc.inject = check::Fault::kSchedSkip;
+  cc.abort_on_violation = false;
+  check::CheckScope scope(cc);
+  ASSERT_NE(scope.checker(), nullptr);
+  {
+    auto mq = make_mq(2, queue::SchedPolicy::kStrictPriority);
+    // Both classes must be backlogged before the first dequeue: the
+    // injected skip serves the LOWEST backlogged class, which is only a
+    // legality breach while a higher class has traffic.
+    for (int i = 0; i < 2; ++i) {
+      sim::Packet high = tagged(0);
+      sim::Packet low = tagged(1);
+      ASSERT_EQ(mq->enqueue(high, 0.0), sim::EnqueueResult::kEnqueued);
+      ASSERT_EQ(mq->enqueue(low, 0.0), sim::EnqueueResult::kEnqueued);
+    }
+    sim::Packet out;
+    ASSERT_TRUE(mq->dequeue(out, 1e-6));
+    EXPECT_EQ(out.prio, 1);  // the fault really inverted the schedule
+    while (mq->dequeue(out, 1e-3)) {
+    }
+  }
+  EXPECT_TRUE(scope.checker()->fault_fired());
+  EXPECT_GT(scope.checker()->violation_count(), 0u);
+  EXPECT_TRUE(scope.checker()->violated(check::ViolationKind::kSchedLegality));
+}
+
+TEST(PriorityEndToEnd, HighClassFlowFinishesFirstOnSharedBottleneck) {
+  check::CheckConfig cc;
+  cc.abort_on_violation = false;
+  check::CheckScope scope(cc);
+  double fct_high = 0.0, fct_low = 0.0;
+  {
+    sim::Network net;
+    auto& sw = net.add_switch("sw");
+    const auto plain = queue::drop_tail(0, 0);
+    const auto bottleneck = queue::multi_queue(
+        2, queue::ecn_threshold(0, 250, 20.0, queue::ThresholdUnit::kPackets),
+        queue::SchedPolicy::kStrictPriority);
+    auto& sink = net.add_host("sink");
+    net.attach_host(sink, sw, units::gbps(1), 2e-6, plain, bottleneck);
+    auto& a = net.add_host("a");
+    net.attach_host(a, sw, units::gbps(10), 2e-6, plain, plain);
+    auto& b = net.add_host("b");
+    net.attach_host(b, sw, units::gbps(10), 2e-6, plain, plain);
+    net.build_routes();
+
+    tcp::TcpConfig tcp;
+    tcp.mode = tcp::CcMode::kDctcp;
+    tcp.min_rto = 0.01;
+    tcp.init_rto = 0.01;
+    tcp::TcpConfig high_cfg = tcp;
+    high_cfg.priority = 0;
+    tcp::TcpConfig low_cfg = tcp;
+    low_cfg.priority = 1;
+    tcp::Connection high(net, a, sink, high_cfg, 300);
+    tcp::Connection low(net, b, sink, low_cfg, 300);
+    high.set_on_complete([&](SimTime t) { fct_high = t; });
+    low.set_on_complete([&](SimTime t) { fct_low = t; });
+    high.start_at(0.0);
+    low.start_at(0.0);
+    net.sim().run();
+    EXPECT_TRUE(high.sender().completed());
+    EXPECT_TRUE(low.sender().completed());
+  }
+  // Identical flows, identical start: the scheduler is the only
+  // asymmetry, so the high class must win by a clear margin.
+  EXPECT_GT(fct_high, 0.0);
+  EXPECT_LT(fct_high, fct_low);
+  if (check::compiled() && scope.checker() != nullptr) {
+    EXPECT_EQ(scope.checker()->violation_count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dtdctcp
