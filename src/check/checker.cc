@@ -1,6 +1,7 @@
 #include "check/checker.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +43,7 @@ const char* violation_kind_name(ViolationKind kind) {
     case ViolationKind::kPoolConservation: return "pool-conservation";
     case ViolationKind::kPoolLegality: return "pool-legality";
     case ViolationKind::kSchedLegality: return "sched-legality";
+    case ViolationKind::kFluidCoupling: return "fluid-coupling";
     case ViolationKind::kTcpRange: return "tcp-range";
     case ViolationKind::kTcpAccounting: return "tcp-accounting";
     case ViolationKind::kPacket: return "packet";
@@ -142,6 +144,12 @@ void Checker::classify(const sim::QueueDisc* d, QueueState& qs) {
     r.limit_packets = f->limit_packets();
     pool_ecn = f->shared_pool() != nullptr &&
                f->ecn_source() != queue::EcnOccupancySource::kPortQueue;
+    // Hybrid fluid coupling: remember the gauge so the shadow rule
+    // models judge marking against the same total occupancy the disc
+    // reads (both read the gauge within the same event, and the gauge
+    // only changes on coupling ticks between events).
+    r.fluid_q = f->fluid_occupancy();
+    r.fluid_packet_bytes = f->fluid_packet_bytes();
   }
   if (const auto* c = dynamic_cast<const sim::SharedBufferClient*>(d)) {
     if (c->shared_pool() != nullptr) {
@@ -230,9 +238,15 @@ void Checker::hysteresis_step(RuleModel& r, double q) {
 
 double Checker::occupancy_in_unit(const QueueState& qs,
                                   queue::ThresholdUnit unit) const {
-  return unit == queue::ThresholdUnit::kPackets
-             ? static_cast<double>(qs.q.size())
-             : static_cast<double>(qs.shadow_bytes);
+  double occ = unit == queue::ThresholdUnit::kPackets
+                   ? static_cast<double>(qs.q.size())
+                   : static_cast<double>(qs.shadow_bytes);
+  if (qs.rule.fluid_q != nullptr) {
+    occ += unit == queue::ThresholdUnit::kPackets
+               ? *qs.rule.fluid_q
+               : *qs.rule.fluid_q * qs.rule.fluid_packet_bytes;
+  }
+  return occ;
 }
 
 void Checker::cross_check_occupancy(const sim::QueueDisc* d, QueueState& qs) {
@@ -450,9 +464,17 @@ void Checker::queue_enqueued(const sim::QueueDisc* d, const sim::Packet& pkt,
     if (r.type == RuleModel::kThreshold) {
       bool marks = false;
       if (r.mark_point == queue::MarkPoint::kArrival) {
-        const double prior = r.unit == queue::ThresholdUnit::kPackets
-                                 ? static_cast<double>(offer.prior_pkts)
-                                 : static_cast<double>(offer.prior_bytes);
+        double prior = r.unit == queue::ThresholdUnit::kPackets
+                           ? static_cast<double>(offer.prior_pkts)
+                           : static_cast<double>(offer.prior_bytes);
+        // The disc compares its gauge-inclusive occupancy() against K;
+        // the gauge is constant within the admit event, so adding it
+        // now matches what the disc read at offer time.
+        if (r.fluid_q != nullptr) {
+          prior += r.unit == queue::ThresholdUnit::kPackets
+                       ? *r.fluid_q
+                       : *r.fluid_q * r.fluid_packet_bytes;
+        }
         marks = offer.ect && prior >= r.k;
       }
       if (marks) ++qs.expected_marks;
@@ -746,6 +768,36 @@ void Checker::queue_destroyed(const sim::QueueDisc* d) {
     terminate(sp.uid, &retired_);
   }
   queues_.erase(it);
+}
+
+void Checker::fluid_coupled(const sim::QueueDisc* d, double fluid_pkts,
+                            double avail_frac, SimTime now) {
+  ++events_checked_;
+  last_time_ = now;
+  // Sanity of the published coupling sample: the fluid share of the
+  // queue must be a finite non-negative packet count, and the residual
+  // link fraction left to foreground packets must stay in (0, 1].
+  if (!std::isfinite(fluid_pkts) || fluid_pkts < 0.0) {
+    report(ViolationKind::kFluidCoupling,
+           fmt("disc %p fluid gauge published %.6g pkts",
+               static_cast<const void*>(d), fluid_pkts));
+  }
+  if (!std::isfinite(avail_frac) || avail_frac <= 0.0 || avail_frac > 1.0) {
+    report(ViolationKind::kFluidCoupling,
+           fmt("disc %p fluid residual rate fraction %.6g outside (0, 1]",
+               static_cast<const void*>(d), avail_frac));
+  }
+  // The registered gauge (if the disc is FifoBase-coupled) must agree
+  // with what the aggregate just published: the packet path and the
+  // coupler reading different gauges would silently desynchronize
+  // marking from the fluid state.
+  QueueState& qs = state_for(d);
+  if (qs.rule.fluid_q != nullptr && *qs.rule.fluid_q != fluid_pkts &&
+      std::isfinite(fluid_pkts)) {
+    report(ViolationKind::kFluidCoupling,
+           fmt("disc %p fluid gauge reads %.6g but coupler published %.6g",
+               static_cast<const void*>(d), *qs.rule.fluid_q, fluid_pkts));
+  }
 }
 
 void Checker::packet_exported(const sim::Port* p, const sim::Packet& pkt) {

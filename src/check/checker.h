@@ -58,6 +58,8 @@ enum class ViolationKind : std::uint8_t {
   kPoolLegality,   ///< an admission the DT shared-buffer policy forbids
   kSchedLegality,  ///< priority scheduler served a class past a
                    ///< backlogged higher class (strict-priority breach)
+  kFluidCoupling,  ///< hybrid fluid gauge non-finite, negative, or
+                   ///< published for a disc coupled to a different gauge
   kTcpRange,       ///< cwnd/alpha/ssthresh out of bounds
   kTcpAccounting,  ///< receiver byte/segment accounting broken
   kPacket,         ///< malformed packet (zero size, CE without ECT)
@@ -116,6 +118,8 @@ class Checker final : public Hooks {
   void queue_bypassed(const sim::QueueDisc* d, sim::Packet& pkt,
                       bool ce_before, SimTime now) override;
   void queue_destroyed(const sim::QueueDisc* d) override;
+  void fluid_coupled(const sim::QueueDisc* d, double fluid_pkts,
+                     double avail_frac, SimTime now) override;
   void packet_exported(const sim::Port* p, const sim::Packet& pkt) override;
   void packet_lost(const sim::Port* p, const sim::Packet& pkt) override;
   void packet_injected(const sim::Host* h, sim::Packet& pkt) override;
@@ -186,6 +190,12 @@ class Checker final : public Hooks {
     std::size_t pool_port = 0;
     double pool_alpha = 0.0;
     std::uint64_t pool_headroom = 0;
+    // Hybrid fluid coupling: the live gauge the disc adds to its
+    // occupancy. The shadow rule models mirror the addition, so ECN
+    // decisions stay verifiable under fluid coupling (both sides read
+    // the gauge within the same event, between coupling ticks).
+    const double* fluid_q = nullptr;
+    double fluid_packet_bytes = 1500.0;
     // Threshold rule.
     double k = 0.0;
     queue::ThresholdUnit unit = queue::ThresholdUnit::kPackets;

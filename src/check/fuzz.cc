@@ -11,6 +11,8 @@
 #include "core/dumbbell.h"
 #include "core/marking_config.h"
 #include "fluid/fluid_model.h"
+#include "fluid/marking.h"
+#include "hybrid/fluid_background.h"
 #include "parsim/fabric.h"
 #include "queue/codel.h"
 #include "queue/multi_queue.h"
@@ -95,6 +97,9 @@ struct Rig {
   std::unique_ptr<sim::FatTree> fat;
   sim::Network* net = nullptr;
   std::vector<std::unique_ptr<tcp::Connection>> conns;
+  /// Declared last so it is destroyed first: its destructor detaches
+  /// the coupling gauges from the still-live bottleneck port.
+  std::unique_ptr<hybrid::FluidBackground> fluid_bg;
 };
 
 Rig build_rig(const FuzzScenario& sc) {
@@ -227,8 +232,8 @@ Rig build_rig(const FuzzScenario& sc) {
     sw_edge = queue::pooled(sw_edge, *rig.pool, share);
   }
 
-  rig.net->attach_host(sink, sw, units::gbps(sc.bottleneck_gbps), leg,
-                       edge_queue, bneck_disc);
+  const std::size_t sink_port = rig.net->attach_host(
+      sink, sw, units::gbps(sc.bottleneck_gbps), leg, edge_queue, bneck_disc);
   std::vector<sim::Host*> senders;
   for (int i = 0; i < sc.flows; ++i) {
     sim::Host& h = rig.net->add_host("sender" + std::to_string(i));
@@ -243,6 +248,25 @@ Rig build_rig(const FuzzScenario& sc) {
         sc.segments_per_flow);
     conn->start_at(rng.uniform(0.0, spread + 1e-9));
     rig.conns.push_back(std::move(conn));
+  }
+
+  // Hybrid scenarios: a fluid background aggregate on the bottleneck,
+  // mirroring the packet-side marking discipline (fluid thresholds are
+  // always in packets, so byte-unit draws convert back). The coupling
+  // stops at its horizon, well inside sim_cap_s, so the event queue
+  // still drains.
+  if (sc.hybrid_flows > 0.0) {
+    hybrid::FluidBackgroundConfig hcfg;
+    hcfg.flows = sc.hybrid_flows;
+    hcfg.rtt = units::microseconds(sc.rtt_us);
+    const double us = sc.byte_unit ? 1500.0 : 1.0;
+    hcfg.marking = sc.disc == FuzzDisc::kHysteresis
+                       ? fluid::MarkingSpec::hysteresis(sc.k1 / us, sc.k2 / us)
+                       : fluid::MarkingSpec::single(sc.k1 / us);
+    hcfg.horizon = units::microseconds(sc.hybrid_horizon_us);
+    rig.fluid_bg = std::make_unique<hybrid::FluidBackground>(
+        hcfg, units::gbps(sc.bottleneck_gbps));
+    rig.fluid_bg->attach(sw.port(sink_port));
   }
   return rig;
 }
@@ -313,6 +337,9 @@ std::string FuzzScenario::describe() const {
         line += fmt_line(" up@%.0fus", recover_at_us);
       }
     }
+  }
+  if (hybrid_flows > 0.0) {
+    line += fmt_line(" hyb=%.0f@%.0fus", hybrid_flows, hybrid_horizon_us);
   }
   return line;
 }
@@ -415,6 +442,19 @@ FuzzScenario generate_scenario(std::uint64_t seed) {
         sc.recover_at_us = sc.fail_at_us + rng.uniform(200.0, 1000.0);
       }
     }
+  }
+
+  // Hybrid draws come last (append-only, like the pool and fat-tree
+  // blocks): ~20% of the dumbbell threshold/hysteresis seed space gains
+  // a fluid background aggregate contending for the bottleneck, so the
+  // fuzzer exercises the coupling plumbing — gauge publication, port
+  // rate scaling, and the checker's fluid_coupled audit — under
+  // adversarial thresholds and RTTs.
+  if (sc.topology == FuzzTopology::kDumbbell &&
+      (sc.disc == FuzzDisc::kThreshold || sc.disc == FuzzDisc::kHysteresis) &&
+      rng.bernoulli(0.2)) {
+    sc.hybrid_flows = static_cast<double>(rng.uniform_int(20, 500));
+    sc.hybrid_horizon_us = rng.uniform(2000.0, 20000.0);
   }
   return sc;
 }

@@ -78,6 +78,15 @@ struct FuzzScenario {
   double recover_at_us = -1.0;  ///< recovery time; < 0 = stays down
   std::size_t fail_link = 0;    ///< failed link index (mod link count)
 
+  // Hybrid fluid background (dumbbell threshold/hysteresis only).
+  // Appended after the fat-tree block, same append-only discipline:
+  // every earlier dimension of a given seed is unchanged from
+  // pre-hybrid builds. When > 0, a hybrid::FluidBackground aggregate
+  // attaches to the bottleneck and the checker's fluid_coupled hook
+  // audits every published (occupancy, rate) gauge pair.
+  double hybrid_flows = 0.0;       ///< 0 = no fluid aggregate
+  double hybrid_horizon_us = 0.0;  ///< coupling window, microseconds
+
   /// One-line human-readable summary.
   std::string describe() const;
   /// Copy-pasteable `sim_fuzz` invocation reproducing this scenario:

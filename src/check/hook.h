@@ -59,6 +59,7 @@ enum class Fault : std::uint8_t {
   kPoolOverAdmit,   ///< FifoBase admits a packet the DT pool rejected
   kSchedSkip,       ///< MultiQueueDisc strict scheduler serves a lower
                     ///< class past a backlogged higher class
+  kFluidNegative,   ///< hybrid coupler publishes a negative fluid queue
 };
 
 inline const char* fault_name(Fault f) {
@@ -73,6 +74,7 @@ inline const char* fault_name(Fault f) {
     case Fault::kPoolLeak: return "pool-leak";
     case Fault::kPoolOverAdmit: return "pool-overadmit";
     case Fault::kSchedSkip: return "sched-skip";
+    case Fault::kFluidNegative: return "fluid-negative";
   }
   return "?";
 }
@@ -100,6 +102,12 @@ class Hooks {
   virtual void queue_bypassed(const sim::QueueDisc* d, sim::Packet& pkt,
                               bool ce_before, SimTime now) = 0;
   virtual void queue_destroyed(const sim::QueueDisc* d) = 0;
+  /// A hybrid fluid aggregate published a new coupling sample for disc
+  /// `d`: `fluid_pkts` is the fluid queue share added to the disc's
+  /// occupancy and `avail_frac` the residual link fraction left to
+  /// packets. Fired once per coupling cadence tick.
+  virtual void fluid_coupled(const sim::QueueDisc* d, double fluid_pkts,
+                             double avail_frac, SimTime now) = 0;
 
   // --- node events ---
   /// A packet leaving this shard through a cross-shard port (parsim

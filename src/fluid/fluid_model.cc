@@ -31,6 +31,15 @@ double FluidModel::delayed_q() const {
   return history_[head_];
 }
 
+void FluidModel::reset(const FluidState& s) {
+  state_ = s;
+  p_ = 0.0;
+  head_ = 0;
+  const double seen = s.q + queue_offset_;
+  automaton_.reset(seen);
+  std::fill(history_.begin(), history_.end(), seen);
+}
+
 void FluidModel::step() {
   // Marking decision made one RTT ago, advanced in lock-step with the
   // history ring so the hysteresis automaton sees the delayed q stream.
@@ -42,9 +51,12 @@ void FluidModel::step() {
   const double p = p_;
 
   const auto deriv = [&](const FluidState& s) {
-    const double r = params_.dynamic_rtt
-                         ? params_.rtt + std::max(s.q, 0.0) / c
-                         : params_.rtt;
+    // Under dynamic RTT the queueing delay covers the *total* backlog:
+    // the aggregate's own q plus the externally coupled packet queue.
+    const double r =
+        params_.dynamic_rtt
+            ? params_.rtt + (std::max(s.q, 0.0) + queue_offset_) / c
+            : params_.rtt;
     const double inv_r = 1.0 / r;
     FluidState d;
     d.w = inv_r - s.w * s.alpha * 0.5 * inv_r * p;
@@ -52,7 +64,7 @@ void FluidModel::step() {
       d.w = 0.0;  // window floor: real TCP sends at least one MSS per RTT
     }
     d.alpha = g * inv_r * (p - s.alpha);
-    d.q = n * s.w * inv_r - c;
+    d.q = n * s.w * inv_r + ext_arrival_pps_ - c;
     if (s.q <= 0.0 && d.q < 0.0) d.q = 0.0;  // queue cannot go negative
     return d;
   };
@@ -73,9 +85,16 @@ void FluidModel::step() {
   state_.q = std::max(state_.q, 0.0);
   state_.alpha = std::clamp(state_.alpha, 0.0, 1.0);
 
-  history_[head_] = state_.q;
+  // The delayed marking decision judges the total queue: the
+  // aggregate's own contribution plus the coupled packet queue (0 in
+  // the closed model, so pure-fluid behavior is bit-unchanged).
+  history_[head_] = state_.q + queue_offset_;
   head_ = (head_ + 1) % history_.size();
   time_ += dt_;
+}
+
+void FluidModel::advance_to(double t) {
+  while (time_ < t) step();
 }
 
 void FluidModel::run(double duration, stats::TimeSeries* trace,

@@ -67,8 +67,41 @@ class FluidModel {
   void run(double duration, stats::TimeSeries* trace = nullptr,
            double record_every = 0.0);
 
+  /// Steps until the model clock reaches (or just passes) `t`. The
+  /// event-cadence entry point for hybrid co-simulation: a simulator
+  /// timer calls this with the current simulated time, so the fluid
+  /// aggregate advances in lock-step with the packet world. No-op when
+  /// t <= time().
+  void advance_to(double t);
+
+  /// Hybrid coupling, packet -> fluid: an external arrival stream (the
+  /// measured foreground packet rate, pps) added to dq/dt, so the
+  /// aggregate's queue derivative becomes N*W/R + a_ext - C. Capacity
+  /// consumed by real packets is thereby accounted against the fluid
+  /// queue's drain. 0 restores the closed model.
+  void set_external_arrival_pps(double pps) { ext_arrival_pps_ = pps; }
+  double external_arrival_pps() const { return ext_arrival_pps_; }
+
+  /// Hybrid coupling, marking: an external queue contribution (the real
+  /// packet queue's depth, in packets) added to the occupancy samples
+  /// the delayed marking automaton consumes — and, under dynamic_rtt,
+  /// to the queueing-delay term — so the fluid marking loop reacts to
+  /// the *total* queue, not just its own share. The fluid state q
+  /// itself stays background-only.
+  void set_queue_offset(double pkts) { queue_offset_ = pkts; }
+  double queue_offset() const { return queue_offset_; }
+
+  /// Re-initializes state, refills the delayed-queue history ring with
+  /// the new q (plus the current queue offset), and resets the marking
+  /// automaton — the clean way to start an aggregate from idle
+  /// ({w: 1, alpha: 0, q: 0}) rather than the operating point the
+  /// constructor assumes. The model clock is preserved.
+  void reset(const FluidState& s);
+
   /// Current delayed marking value p(t - R0).
   double p_delayed() const { return p_; }
+  /// The delayed total-queue sample the next marking decision will see.
+  double delayed_queue() const { return delayed_q(); }
 
  private:
   double delayed_q() const;
@@ -83,6 +116,8 @@ class FluidModel {
   std::size_t delay_steps_;
   MarkingAutomaton automaton_;
   double p_ = 0.0;
+  double ext_arrival_pps_ = 0.0;  ///< hybrid: measured packet arrivals
+  double queue_offset_ = 0.0;     ///< hybrid: real packet-queue depth
 };
 
 /// Peak-to-peak amplitude / 2 of the trace restricted to t >= from.

@@ -1,0 +1,136 @@
+#include "hybrid/fluid_background.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "check/hook.h"
+#include "queue/fifo_base.h"
+
+namespace dtdctcp::hybrid {
+
+FluidBackground::FluidBackground(const FluidBackgroundConfig& cfg,
+                                 DataRate link_bps)
+    : cfg_(cfg),
+      capacity_pps_(link_bps / (8.0 * cfg.mtu_bytes)),
+      couple_dt_(cfg.couple_dt > 0.0 ? cfg.couple_dt : cfg.rtt / 4.0) {
+  if (cfg_.flows > 0.0) {
+    fluid::FluidParams p;
+    p.capacity_pps = capacity_pps_;
+    p.flows = cfg_.flows;
+    p.rtt = cfg_.rtt;
+    p.g = cfg_.g;
+    p.marking = cfg_.marking;
+    // The physical self-limiting regime: rate terms use R(t) = rtt + q/C
+    // (plus the coupled packet-queue offset), so large N stays stable.
+    p.dynamic_rtt = true;
+    model_ = std::make_unique<fluid::FluidModel>(p, cfg_.fluid_dt);
+    // Aggregates start from idle (slow-start floor), not the
+    // operating point: background flows ramp up against whatever the
+    // foreground is already doing.
+    model_->reset({/*w=*/1.0, /*alpha=*/0.0, /*q=*/0.0});
+  }
+}
+
+FluidBackground::~FluidBackground() { detach(); }
+
+void FluidBackground::detach() {
+  if (port_ != nullptr) port_->set_available_rate_fraction(nullptr);
+  if (fifo_ != nullptr) fifo_->set_fluid_occupancy(nullptr);
+  port_ = nullptr;
+  fifo_ = nullptr;
+}
+
+void FluidBackground::attach(sim::Port& port) {
+  detach();
+  port_ = &port;
+  sim_ = &port.simulator();
+  fifo_ = dynamic_cast<queue::FifoBase*>(&port.disc());
+  if (fifo_ != nullptr) fifo_->set_fluid_occupancy(&q_pkts_, cfg_.mtu_bytes);
+  port_->set_available_rate_fraction(&avail_frac_);
+  epoch_ = sim_->now();
+  last_tick_ = epoch_;
+  last_bytes_ = port_->bytes_sent();
+  stopped_ = false;
+  sim_->after(couple_dt_, [this] { tick(); });
+}
+
+void FluidBackground::tick() {
+  if (stopped_ || port_ == nullptr) return;
+  const SimTime now = sim_->now();
+  const SimTime window = now - last_tick_;
+
+  if (model_ != nullptr) {
+    // packet -> fluid: foreground bytes the port actually transmitted
+    // since the last tick become an external arrival rate on the fluid
+    // queue derivative; the real queue depth feeds the delayed marking
+    // stream (and the dynamic-RTT delay term).
+    const std::uint64_t sent = port_->bytes_sent();
+    last_fg_pps_ =
+        window > 0.0 ? static_cast<double>(sent - last_bytes_) /
+                           cfg_.mtu_bytes / window
+                     : 0.0;
+    last_bytes_ = sent;
+    model_->set_external_arrival_pps(last_fg_pps_);
+    model_->set_queue_offset(static_cast<double>(port_->disc().packets()));
+    model_->advance_to(now - epoch_);
+
+    // fluid -> packet: publish the aggregate's queue share and the
+    // residual link fraction left to foreground packets.
+    const fluid::FluidState& s = model_->state();
+    q_pkts_ = std::max(s.q, 0.0);
+    const double r = cfg_.rtt + (q_pkts_ + model_->queue_offset()) /
+                                    capacity_pps_;
+    const double bg_pps = cfg_.flows * s.w / r;
+    const double share = std::min(cfg_.max_share, bg_pps / capacity_pps_);
+    avail_frac_ = 1.0 - std::max(share, 0.0);
+  }
+
+  if (DTDCTCP_CHECK_INJECT(kFluidNegative)) {
+    // Publish one corrupt sample so the fluid_coupled audit fires, then
+    // repair it below so the rest of the run stays sane.
+    const double saved = q_pkts_;
+    q_pkts_ = -1.0;
+    DTDCTCP_CHECK_HOOK(fluid_coupled(&port_->disc(), q_pkts_, avail_frac_,
+                                     now));
+    q_pkts_ = saved;
+  } else {
+    DTDCTCP_CHECK_HOOK(fluid_coupled(&port_->disc(), q_pkts_, avail_frac_,
+                                     now));
+  }
+
+  q_integral_ += q_pkts_ * window;
+  share_integral_ += (1.0 - avail_frac_) * window;
+  last_tick_ = now;
+  ++ticks_;
+
+  if (cfg_.horizon > 0.0 && now + couple_dt_ > cfg_.horizon) {
+    stopped_ = true;
+    return;
+  }
+  sim_->after(couple_dt_, [this] { tick(); });
+}
+
+double FluidBackground::mean_queue_pkts() const {
+  const double span = last_tick_ - epoch_;
+  return span > 0.0 ? q_integral_ / span : 0.0;
+}
+
+double FluidBackground::mean_share() const {
+  const double span = last_tick_ - epoch_;
+  return span > 0.0 ? share_integral_ / span : 0.0;
+}
+
+void FluidBackground::export_to(stats::MetricsRegistry& reg,
+                                const std::string& prefix) const {
+  reg.gauge(prefix + ".ticks").set(static_cast<double>(ticks_));
+  reg.gauge(prefix + ".q_mean_pkts").set(mean_queue_pkts());
+  reg.gauge(prefix + ".q_final_pkts").set(q_pkts_);
+  reg.gauge(prefix + ".share_mean").set(mean_share());
+  reg.gauge(prefix + ".share_final").set(1.0 - avail_frac_);
+  if (model_ != nullptr) {
+    reg.gauge(prefix + ".w_final").set(model_->state().w);
+    reg.gauge(prefix + ".alpha_final").set(model_->state().alpha);
+  }
+}
+
+}  // namespace dtdctcp::hybrid

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "hybrid/fluid_background.h"
 #include "queue/factory.h"
 #include "stats/percentile.h"
 #include "tcp/connection.h"
@@ -80,6 +81,29 @@ FabricResult run_fabric(const FabricConfig& cfg) {
     opts.check = cfg.check;
     opts.check_cfg = cfg.check_cfg;
     runner = std::make_unique<ShardRunner>(*sharded, opts);
+  }
+
+  // Hybrid fluid background (leaf-spine only): one aggregate per leaf
+  // on its first spine uplink (port 0 — connect_switches wires spine
+  // uplinks before host ports). Attached after the sharding scaffolding
+  // so each aggregate's coupling timer lands on the simulator that owns
+  // its port: all hybrid state is shard-local and digest-stable.
+  // Declared after ls/ft so the aggregates are destroyed first and
+  // detach their gauges from live ports.
+  std::vector<std::unique_ptr<hybrid::FluidBackground>> aggregates;
+  if (cfg.hybrid_background && !fat) {
+    hybrid::FluidBackgroundConfig hcfg;
+    hcfg.flows = cfg.hybrid_flows;
+    hcfg.rtt = cfg.hybrid_rtt;
+    hcfg.marking = fluid::MarkingSpec::single(cfg.mark_threshold_packets);
+    hcfg.horizon = cfg.hybrid_horizon;
+    aggregates.reserve(ls.leaves.size());
+    for (sim::Switch* leaf : ls.leaves) {
+      auto agg = std::make_unique<hybrid::FluidBackground>(
+          hcfg, cfg.fabric.fabric_link_bps);
+      agg->attach(leaf->port(0));
+      aggregates.push_back(std::move(agg));
+    }
   }
 
   // Scheduled link failures (fat-tree only). Serial runs mutate the
@@ -201,6 +225,25 @@ FabricResult run_fabric(const FabricConfig& cfg) {
   } else {
     for (sim::Switch* sw : ls.leaves) fold_switch(sw, false);
     for (sim::Switch* sw : ls.spines) fold_switch(sw, false);
+  }
+  // Fluid aggregate state joins the fingerprint only when the hybrid
+  // background is actually active, so inert-aggregate digests stay
+  // bit-compatible with hybrid-off runs.
+  if (!aggregates.empty()) {
+    for (const auto& a : aggregates) {
+      out.hybrid_ticks += a->ticks();
+      out.hybrid_share_mean += a->mean_share();
+      if (cfg.hybrid_flows > 0.0) {
+        digest.mix(a->ticks());
+        digest.mix(a->queue_pkts());
+        digest.mix(a->available_fraction());
+        if (a->model() != nullptr) {
+          digest.mix(a->model()->state().w);
+          digest.mix(a->model()->state().alpha);
+        }
+      }
+    }
+    out.hybrid_share_mean /= static_cast<double>(aggregates.size());
   }
   out.digest = digest.h;
   return out;

@@ -60,6 +60,19 @@ struct FabricConfig {
   std::uint64_t seed = 1;
   ShardRunnerOptions::Check check = ShardRunnerOptions::Check::kEnv;
   check::CheckConfig check_cfg;
+
+  // Hybrid fluid background (leaf-spine only). When enabled, each
+  // leaf's first spine uplink carries one hybrid::FluidBackground
+  // aggregate of `hybrid_flows` long-lived flows, attached after
+  // shard rebinding so all aggregate state is shard-local and the run
+  // stays digest-deterministic. `hybrid_flows == 0` attaches inert
+  // aggregates (gauges exactly 0.0 / 1.0): byte-identical to
+  // hybrid_background == false, pinned by test.
+  bool hybrid_background = false;
+  double hybrid_flows = 0.0;
+  double hybrid_rtt = 1e-4;
+  /// Coupling window; ticks stop here so finite-flow runs can drain.
+  SimTime hybrid_horizon = 0.02;
 };
 
 struct FabricResult {
@@ -84,6 +97,9 @@ struct FabricResult {
   bool ledger_ok = true;      ///< ShardRunner::finalize (sharded runs)
   std::uint64_t check_violations = 0;  ///< per-shard checkers, if installed
   ShardRunnerTelemetry telemetry;      ///< empty for shards == 0
+  // Hybrid background (zeros when disabled / inert).
+  std::uint64_t hybrid_ticks = 0;   ///< coupling samples, all aggregates
+  double hybrid_share_mean = 0.0;   ///< mean over aggregates' time-means
 };
 
 FabricResult run_fabric(const FabricConfig& cfg);

@@ -83,6 +83,21 @@ class FifoBase : public sim::QueueDisc, public sim::SharedBufferClient {
   }
   EcnOccupancySource ecn_source() const { return ecn_source_; }
 
+  /// Hybrid fluid coupling: adds `*extra_pkts` (a live gauge owned by a
+  /// hybrid::FluidBackground aggregate, in MTU packets) to every
+  /// occupancy() the marking discipline reads, so foreground packets
+  /// are marked against the total (packet + fluid) backlog. For byte
+  /// thresholds the gauge is scaled by `packet_bytes`. nullptr
+  /// detaches. When the gauge reads +0.0 the addition is bit-exact, so
+  /// a zero-share aggregate leaves marking byte-identical.
+  void set_fluid_occupancy(const double* extra_pkts,
+                           double packet_bytes = 1500.0) {
+    fluid_pkts_ = extra_pkts;
+    fluid_packet_bytes_ = packet_bytes;
+  }
+  const double* fluid_occupancy() const { return fluid_pkts_; }
+  double fluid_packet_bytes() const { return fluid_packet_bytes_; }
+
   std::size_t limit_bytes() const { return limit_bytes_; }
   std::size_t limit_packets() const { return limit_packets_; }
 
@@ -186,16 +201,22 @@ class FifoBase : public sim::QueueDisc, public sim::SharedBufferClient {
     const double port_q = unit == ThresholdUnit::kPackets
                               ? static_cast<double>(q_.size())
                               : static_cast<double>(bytes_);
-    if (ecn_source_ == EcnOccupancySource::kPortQueue || pool_ == nullptr) {
-      return port_q;
+    double base = port_q;
+    if (ecn_source_ != EcnOccupancySource::kPortQueue && pool_ != nullptr) {
+      const double pool_bytes = static_cast<double>(pool_->used());
+      const double pool_q = unit == ThresholdUnit::kPackets
+                                ? pool_bytes / pool_packet_bytes_
+                                : pool_bytes;
+      base = ecn_source_ == EcnOccupancySource::kSharedPool
+                 ? pool_q
+                 : std::max(port_q, pool_q);
     }
-    const double pool_bytes = static_cast<double>(pool_->used());
-    const double pool_q = unit == ThresholdUnit::kPackets
-                              ? pool_bytes / pool_packet_bytes_
-                              : pool_bytes;
-    return ecn_source_ == EcnOccupancySource::kSharedPool
-               ? pool_q
-               : std::max(port_q, pool_q);
+    if (fluid_pkts_ != nullptr) {
+      base += unit == ThresholdUnit::kPackets
+                  ? *fluid_pkts_
+                  : *fluid_pkts_ * fluid_packet_bytes_;
+    }
+    return base;
   }
 
  private:
@@ -211,6 +232,8 @@ class FifoBase : public sim::QueueDisc, public sim::SharedBufferClient {
   std::size_t port_ = 0;
   EcnOccupancySource ecn_source_ = EcnOccupancySource::kPortQueue;
   double pool_packet_bytes_ = 1500.0;
+  const double* fluid_pkts_ = nullptr;
+  double fluid_packet_bytes_ = 1500.0;
   util::RingBuffer<sim::Packet> q_;
   std::size_t bytes_ = 0;
 };

@@ -41,7 +41,12 @@ std::size_t Port::drop_queued(SimTime now) {
 void Port::begin_transmission(Packet pkt) {
   busy_ = true;
   if (trace_ != nullptr) trace_->packet_event("tx", pkt, sim_->now());
-  const SimTime tx = units::transmission_time(pkt.size_bytes, rate_bps_);
+  // With a fluid background sharing the link, foreground packets only
+  // get the residual capacity (exactly rate_bps_ when the gauge is 1.0,
+  // so a zero-share aggregate changes no timestamps).
+  const DataRate rate =
+      avail_frac_ == nullptr ? rate_bps_ : rate_bps_ * *avail_frac_;
+  const SimTime tx = units::transmission_time(pkt.size_bytes, rate);
   ++packets_sent_;
   bytes_sent_ += pkt.size_bytes;
   // Arrival at the peer is an independent event so the pipe can hold

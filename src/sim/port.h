@@ -71,6 +71,14 @@ class Port {
   /// Attaches a per-packet tracer for transmission events ("tx").
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
+  /// Hybrid fluid coupling: scales the effective serialization rate by
+  /// `*frac` (a live gauge in (0, 1] owned by a hybrid::FluidBackground
+  /// aggregate), modelling the link capacity the fluid background
+  /// claims. nullptr (the default) or a gauge reading exactly 1.0
+  /// leaves transmission timing bit-identical (rate * 1.0 == rate).
+  void set_available_rate_fraction(const double* frac) { avail_frac_ = frac; }
+  const double* available_rate_fraction() const { return avail_frac_; }
+
   QueueDisc& disc() { return *disc_; }
   const QueueDisc& disc() const { return *disc_; }
   DataRate rate_bps() const { return rate_bps_; }
@@ -103,6 +111,7 @@ class Port {
   parsim::Mailbox* remote_ = nullptr;
   Node* peer_ = nullptr;
   TraceSink* trace_ = nullptr;
+  const double* avail_frac_ = nullptr;
   bool busy_ = false;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;

@@ -27,6 +27,8 @@
 #include <utility>
 #include <vector>
 
+#include "fluid/marking.h"
+#include "hybrid/fluid_background.h"
 #include "queue/factory.h"
 #include "queue/multi_queue.h"
 #include "queue/pie.h"
@@ -38,6 +40,7 @@
 #include "tcp/flow_metrics.h"
 #include "util/units.h"
 #include "workload/flow_sampler.h"
+#include "workload/long_lived.h"
 #include "workload/poisson_flows.h"
 
 namespace dtdctcp::workload {
@@ -119,6 +122,27 @@ inline sim::QueueFactory fct_marking(FctScheme s, std::size_t buffer_pkts,
   return queue::drop_tail(0, buffer_pkts);
 }
 
+/// How a background share of long-lived flows is realized.
+enum class FctBackgroundMode {
+  kPacket,  ///< one real TCP connection per flow, on up to 32 dedicated
+            ///< hosts (the cross-validation baseline; cost grows with N)
+  kFluid,   ///< one hybrid::FluidBackground aggregate on the bottleneck
+            ///< (O(1) in N — the scalable hybrid path)
+};
+
+/// Marking spec the fluid aggregate runs, mirroring the packet-side
+/// scheme on the bottleneck. Loss-only / delay-based schemes fall back
+/// to DCTCP's single threshold (the fluid model is ECN-driven).
+inline fluid::MarkingSpec fct_fluid_marking(FctScheme s) {
+  switch (s) {
+    case FctScheme::kDtLoop:
+    case FctScheme::kDtBand:
+      return fluid::MarkingSpec::hysteresis(15.0, 25.0);
+    default:
+      return fluid::MarkingSpec::single(20.0);
+  }
+}
+
 struct FctWorkloadConfig {
   FctWorkloadKind kind = FctWorkloadKind::kWebSearch;
   FctScheme scheme = FctScheme::kDctcp;
@@ -150,6 +174,26 @@ struct FctWorkloadConfig {
   /// class 0 (PBS-style size tagging). 0 or 1 = single queue (legacy).
   std::size_t priority_classes = 0;
   queue::SchedPolicy sched_policy = queue::SchedPolicy::kStrictPriority;
+
+  // Background share (hybrid co-simulation, src/hybrid). When
+  // background_flows > 0, that many long-lived flows contend for the
+  // bottleneck alongside the Poisson foreground — either as real packet
+  // connections or collapsed into one fluid aggregate.
+  std::size_t background_flows = 0;
+  FctBackgroundMode background_mode = FctBackgroundMode::kFluid;
+  double background_rtt = 1e-4;       ///< aggregate R0, seconds
+  SimTime background_couple_dt = 0.0; ///< coupling cadence; <= 0 -> R0/4
+  SimTime background_fluid_dt = 0.0;  ///< RK4 step; <= 0 -> R0/200
+  /// Fluid coupling window; <= 0 -> `duration` (couple through the
+  /// arrival window, then freeze the gauges so the run can drain —
+  /// and, in the zero-flow identity case, so the final event time
+  /// matches the packet-only run exactly).
+  SimTime background_horizon = 0.0;
+  /// Attach the fluid coupler even with background_flows == 0: an inert
+  /// aggregate that publishes exactly 0.0 occupancy / 1.0 rate every
+  /// tick. Exists so the byte-identity anchor exercises the complete
+  /// coupling plumbing, not just its absence.
+  bool attach_inert_background = false;
 };
 
 struct FctWorkloadResult {
@@ -163,6 +207,11 @@ struct FctWorkloadResult {
   std::uint64_t deadline_flows = 0, deadline_missed = 0;
   double queue_mean_pkts = 0.0, queue_max_pkts = 0.0;
   std::uint64_t pool_peak_bytes = 0;  ///< shared-pool high-water (0: no pool)
+  // Background share (zeros when background_flows == 0).
+  double bg_share_mean = 0.0;     ///< fluid: time-mean link share claimed
+  double bg_queue_mean_pkts = 0.0;///< fluid: time-mean aggregate queue
+  std::uint64_t bg_ticks = 0;     ///< fluid: coupling samples published
+  std::int64_t bg_acked_segments = 0;  ///< packet: background goodput proxy
   /// Full observability export for this run (JSON/CSV via
   /// maybe_export). Value-semantic so results ride through
   /// runner::run_jobs unchanged.
@@ -217,6 +266,22 @@ inline FctWorkloadResult run_fct_workload(const FctWorkloadConfig& cfg) {
                     pool_wrap(edge, queue::EcnOccupancySource::kPortQueue));
     senders.push_back(&h);
   }
+  // Packet-mode background flows get dedicated hosts (capped at 32 —
+  // connections beyond that share hosts round-robin) so the foreground
+  // edge links stay uncongested and only the bottleneck is contended.
+  std::vector<sim::Host*> bg_hosts;
+  const bool bg_packet = cfg.background_flows > 0 &&
+                         cfg.background_mode == FctBackgroundMode::kPacket;
+  if (bg_packet) {
+    const std::size_t n = std::min<std::size_t>(cfg.background_flows, 32);
+    bg_hosts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& h = net.add_host("bg" + std::to_string(i));
+      net.attach_host(h, sw, 10.0 * cfg.link_bps, 25e-6, edge,
+                      pool_wrap(edge, queue::EcnOccupancySource::kPortQueue));
+      bg_hosts.push_back(&h);
+    }
+  }
   net.build_routes();
 
   sim::QueueMonitor monitor;
@@ -245,8 +310,57 @@ inline FctWorkloadResult run_fct_workload(const FctWorkloadConfig& cfg) {
                                       pcfg.large_cutoff_segments);
   PoissonFlowGenerator gen(net, senders, {&sink}, tcp_cfg, pcfg);
   gen.set_collector(&collector);
+
+  // Background share. Both declared after `net` so they are destroyed
+  // first (the fluid coupler detaches its gauges from the live port).
+  std::optional<LongLivedGroup> bg_group;
+  if (bg_packet) {
+    std::vector<sim::Host*> sources(cfg.background_flows);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      sources[i] = bg_hosts[i % bg_hosts.size()];
+    }
+    bg_group.emplace(net, sources, sink, tcp_cfg,
+                     /*start_spread=*/10.0 * cfg.background_rtt,
+                     cfg.seed ^ 0x9e3779b97f4a7c15ull);
+  }
+  std::optional<hybrid::FluidBackground> fluid_bg;
+  if ((cfg.background_flows > 0 &&
+       cfg.background_mode == FctBackgroundMode::kFluid) ||
+      cfg.attach_inert_background) {
+    hybrid::FluidBackgroundConfig hcfg;
+    hcfg.flows = cfg.background_mode == FctBackgroundMode::kFluid
+                     ? static_cast<double>(cfg.background_flows)
+                     : 0.0;
+    hcfg.rtt = cfg.background_rtt;
+    hcfg.marking = fct_fluid_marking(cfg.scheme);
+    hcfg.couple_dt = cfg.background_couple_dt;
+    hcfg.fluid_dt = cfg.background_fluid_dt;
+    hcfg.horizon =
+        cfg.background_horizon > 0.0 ? cfg.background_horizon : cfg.duration;
+    fluid_bg.emplace(hcfg, cfg.link_bps);
+    fluid_bg->attach(sw.port(sink_port));
+  }
+
   gen.start(0.0);
-  net.sim().run();
+  if (bg_group.has_value()) {
+    // Packet background flows are infinite sources — the event queue
+    // never empties. Run in bounded slices until the foreground
+    // completes (or a drain cap), then freeze.
+    const SimTime cap = 3.0 * cfg.duration + 0.5;
+    const SimTime chunk = std::max(cfg.duration / 100.0, 1e-3);
+    net.sim().run_until(cfg.duration);
+    while (gen.flows_completed() < gen.flows_started() &&
+           net.sim().now() < cap) {
+      net.sim().run_until(net.sim().now() + chunk);
+    }
+  } else {
+    // Packet-only and hybrid paths both run to event-queue exhaustion:
+    // the fluid coupler stops rescheduling at its horizon (default: the
+    // arrival window), which always precedes the last foreground event,
+    // so the final simulated time — and with an inert aggregate, every
+    // byte of output — matches the packet-only run.
+    net.sim().run();
+  }
   monitor.finish(net.sim().now());
 
   FctWorkloadResult r;
@@ -290,6 +404,25 @@ inline FctWorkloadResult run_fct_workload(const FctWorkloadConfig& cfg) {
     r.pool_peak_bytes = pool->peak_used();
     r.metrics.gauge(prefix + ".pool.peak_bytes")
         .set(static_cast<double>(r.pool_peak_bytes));
+  }
+  // Background metrics only when a share was requested, so zero-share
+  // hybrid exports stay byte-identical to packet-only exports.
+  if (cfg.background_flows > 0) {
+    if (fluid_bg.has_value()) {
+      r.bg_share_mean = fluid_bg->mean_share();
+      r.bg_queue_mean_pkts = fluid_bg->mean_queue_pkts();
+      r.bg_ticks = fluid_bg->ticks();
+      fluid_bg->export_to(r.metrics, prefix + ".bg.fluid");
+    }
+    if (bg_group.has_value()) {
+      r.bg_acked_segments = bg_group->total_acked();
+      r.metrics.gauge(prefix + ".bg.packet.acked_segments")
+          .set(static_cast<double>(r.bg_acked_segments));
+      r.metrics.gauge(prefix + ".bg.packet.timeouts")
+          .set(static_cast<double>(bg_group->total_timeouts()));
+    }
+    r.metrics.gauge(prefix + ".bg.flows")
+        .set(static_cast<double>(cfg.background_flows));
   }
   return r;
 }

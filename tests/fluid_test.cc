@@ -158,6 +158,28 @@ TEST(OscillationAmplitude, HalfPeakToPeak) {
   EXPECT_NEAR(fluid::oscillation_amplitude(t, 0.5), 10.0, 0.2);
 }
 
+TEST(OscillationAmplitude, EmptyTraceIsZero) {
+  stats::TimeSeries t;
+  EXPECT_EQ(fluid::oscillation_amplitude(t, 0.0), 0.0);
+}
+
+TEST(OscillationAmplitude, FromBeyondLastSampleIsZero) {
+  stats::TimeSeries t;
+  t.add(0.0, 40.0);
+  t.add(1.0, 60.0);
+  // `from` past the final sample leaves nothing to measure — must
+  // return 0.0 rather than reading uninitialized extrema.
+  EXPECT_EQ(fluid::oscillation_amplitude(t, 1.5), 0.0);
+  // Exactly on the last sample: one point, zero amplitude.
+  EXPECT_EQ(fluid::oscillation_amplitude(t, 1.0), 0.0);
+}
+
+TEST(OscillationAmplitude, SingleSampleIsZero) {
+  stats::TimeSeries t;
+  t.add(0.0, 123.0);
+  EXPECT_EQ(fluid::oscillation_amplitude(t, 0.0), 0.0);
+}
+
 // --- MarkingAutomaton -----------------------------------------------
 
 TEST(MarkingAutomaton, SingleThresholdIsMemorylessRelay) {

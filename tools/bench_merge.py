@@ -11,10 +11,10 @@ Two subcommands:
 
   compare BASELINE CURRENT [--max-regression FRAC]
       Compares every benchmark carrying a gated metric that appears in
-      both files, honouring the metric's direction: "pkts/s" and
-      "events/s" (throughput, higher is better) fail on a drop,
-      "p99_fct_s" (tail flow-completion time, lower is better) fails
-      on a rise.
+      both files, honouring the metric's direction: "pkts/s",
+      "events/s", and "steps/s" (throughput, higher is better) fail on
+      a drop, "p99_fct_s" (tail flow-completion time, lower is better)
+      fails on a rise.
       Exits non-zero when any gated metric regressed by more than FRAC
       (default 0.10) relative to the baseline.
 
@@ -30,6 +30,7 @@ import sys
 GATED_METRICS = {
     "pkts/s": "higher",
     "events/s": "higher",
+    "steps/s": "higher",
     "p99_fct_s": "lower",
 }
 

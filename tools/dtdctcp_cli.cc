@@ -25,6 +25,7 @@
 #include "runner/runner.h"
 #include "util/args.h"
 #include "util/rng.h"
+#include "workload/fct_workloads.h"
 
 using namespace dtdctcp;
 
@@ -53,7 +54,7 @@ std::optional<core::MarkingConfig> parse_marking(const std::string& spec,
 int usage() {
   std::fprintf(stderr,
                "usage: dtdctcp_cli <dumbbell|incast|nyquist|fluid|fct|"
-               "sweep> [options]\n"
+               "hybrid|sweep> [options]\n"
                "common options:\n"
                "  --flows N            number of flows (default 10)\n"
                "  --marking SPEC       dctcp:<K> or dt:<K1>,<K2> "
@@ -70,6 +71,10 @@ int usage() {
                "fluid:    --rtt-ms T --g G --duration S\n"
                "fct:      --load L --duration S --sack --pacing "
                "--spines N --leaves N --hosts-per-leaf N\n"
+               "hybrid:   --bg-flows N --bg-mode fluid|packet --load L "
+               "--duration S\n"
+               "          --rate-gbps R --buffer-pkts B --seed S "
+               "(CSV via DTDCTCP_CSV_DIR)\n"
                "sweep:    --from N --to N --step N plus the dumbbell "
                "options\n");
   return 2;
@@ -285,6 +290,59 @@ int run_fluid_cmd(const Args& args, const core::MarkingConfig& marking) {
   return 0;
 }
 
+// Hybrid co-simulation: Poisson foreground FCT workload plus a
+// background share of long-lived flows, realized either as one fluid
+// aggregate (src/hybrid, O(1) in N) or as real packet connections (the
+// cross-validation baseline). Marking maps onto the FCT schemes:
+// dctcp:<K> -> single threshold, dt:<K1>,<K2> -> DT-DCTCP hysteresis.
+int run_hybrid_cmd(const Args& args) {
+  workload::FctWorkloadConfig cfg;
+  const std::string marking_spec = args.get("marking", "dctcp:40");
+  cfg.scheme = marking_spec.rfind("dt:", 0) == 0
+                   ? workload::FctScheme::kDtLoop
+                   : workload::FctScheme::kDctcp;
+  const std::string kind = args.get("workload", "websearch");
+  cfg.kind = kind == "datamining" ? workload::FctWorkloadKind::kDataMining
+             : kind == "querybg"  ? workload::FctWorkloadKind::kQueryBackground
+                                  : workload::FctWorkloadKind::kWebSearch;
+  cfg.load = args.get_double("load", 0.5);
+  cfg.duration = args.get_double("duration", 0.2);
+  cfg.link_bps = units::gbps(args.get_double("rate-gbps", 1.0));
+  cfg.buffer_pkts =
+      static_cast<std::size_t>(args.get_int("buffer-pkts", 250));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  cfg.background_flows =
+      static_cast<std::size_t>(args.get_int("bg-flows", 1000));
+  const std::string mode = args.get("bg-mode", "fluid");
+  if (mode != "fluid" && mode != "packet") {
+    std::fprintf(stderr, "--bg-mode must be fluid or packet\n");
+    return usage();
+  }
+  cfg.background_mode = mode == "packet"
+                            ? workload::FctBackgroundMode::kPacket
+                            : workload::FctBackgroundMode::kFluid;
+  cfg.background_rtt = args.get_double("bg-rtt-us", 100.0) * 1e-6;
+
+  const auto r = workload::run_fct_workload(cfg);
+  std::printf("%s\n%s\n", workload::fct_row_header().c_str(),
+              workload::format_fct_row(cfg, r).c_str());
+  std::printf("background       %zu flows (%s)\n", cfg.background_flows,
+              mode.c_str());
+  if (cfg.background_mode == workload::FctBackgroundMode::kFluid) {
+    std::printf("bg_share_mean    %.3f of link\n", r.bg_share_mean);
+    std::printf("bg_queue_mean    %.1f pkts\n", r.bg_queue_mean_pkts);
+    std::printf("bg_ticks         %llu coupling samples\n",
+                static_cast<unsigned long long>(r.bg_ticks));
+  } else {
+    std::printf("bg_acked         %lld segments\n",
+                static_cast<long long>(r.bg_acked_segments));
+  }
+  if (r.metrics.maybe_export("hybrid_" + mode)) {
+    std::printf("csv              written to $DTDCTCP_CSV_DIR\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -314,6 +372,7 @@ int main(int argc, char** argv) {
   if (cmd == "nyquist") return run_nyquist_cmd(args, *marking);
   if (cmd == "fluid") return run_fluid_cmd(args, *marking);
   if (cmd == "fct") return run_fct_cmd(args, *marking);
+  if (cmd == "hybrid") return run_hybrid_cmd(args);
   if (cmd == "sweep") return run_sweep_cmd(args, *marking);
   return usage();
 }

@@ -20,8 +20,9 @@
 //   sim_fuzz --inject MODE [--seed S]
 //       Fault-injection smoke test: commit the named fault
 //       (uncounted-drop, fifo-swap, occupancy-leak, spurious-mark,
-//       lost-delivery, alpha-range, or "all") in otherwise-normal
-//       scenarios and exit 0 only if the checker detected it.
+//       lost-delivery, alpha-range, fluid-negative, or "all") in
+//       otherwise-normal scenarios and exit 0 only if the checker
+//       detected it.
 //
 // Exit codes: 0 all passed / fault detected; 1 failures; 2 usage or
 // checks not compiled into this build.
@@ -79,6 +80,7 @@ constexpr FaultMode kFaultModes[] = {
     {"alpha-range", Fault::kAlphaRange},
     {"pool-leak", Fault::kPoolLeak},
     {"pool-overadmit", Fault::kPoolOverAdmit},
+    {"fluid-negative", Fault::kFluidNegative},
 };
 
 /// Runs scenarios until one actually commits the fault, then requires
@@ -126,7 +128,8 @@ int usage() {
                "       sim_fuzz --large N [--seed S]\n"
                "       sim_fuzz --inject MODE [--seed S]   (MODE: "
                "uncounted-drop fifo-swap occupancy-leak spurious-mark "
-               "lost-delivery alpha-range pool-leak pool-overadmit all)\n");
+               "lost-delivery alpha-range pool-leak pool-overadmit "
+               "fluid-negative all)\n");
   return 2;
 }
 
