@@ -27,7 +27,9 @@ int main(int argc, char** argv) {
   const auto specs = {fluid::MarkingSpec::single(40.0),
                       fluid::MarkingSpec::hysteresis(30.0, 50.0)};
   for (const auto& spec : specs) {
-    const char* name = spec.is_hysteresis ? "DT-DCTCP" : "DCTCP";
+    const char* name = spec.kind == fluid::MarkingKind::kHysteresis
+                           ? "DT-DCTCP"
+                           : "DCTCP";
     const auto report = analysis::analyze(plant, spec);
     std::printf("\n%s (K0 = 1/%.0f):\n", name, spec.k_stop);
     std::printf("  locus crosses the negative real axis at Re = %.3f "

@@ -1,5 +1,6 @@
 #include "analysis/describing_function.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -23,15 +24,96 @@ Complex df_dtdctcp(double amplitude, double k1, double k2) {
   return Complex(b1 / amplitude, a1 / amplitude);
 }
 
+namespace {
+
+/// Fundamental-harmonic building blocks for one-sided piecewise-linear
+/// nonlinearities of X sin(wt) (thresholds measured from the sine's
+/// center, like the relay's). All vanish for t >= X.
+double step_u(double t, double x) {
+  if (t >= x) return 0.0;
+  const double r = t / x;
+  return 2.0 * std::sqrt(1.0 - r * r);
+}
+
+double ramp_s(double t, double x) {
+  // S(t) = (1/pi) [X v(t) - t u(t)]: the b1 contribution of a unit-slope
+  // ramp max(0, q - t).
+  if (t >= x) return 0.0;
+  const double theta = std::asin(t / x);
+  const double v = 0.5 * (M_PI - 2.0 * theta) +
+                   std::sin(theta) * std::cos(theta);
+  return (x * v - t * step_u(t, x)) / M_PI;
+}
+
+}  // namespace
+
+Complex df_red(double amplitude, const fluid::MarkingSpec& spec) {
+  assert(spec.kind == fluid::MarkingKind::kRedRamp);
+  assert(amplitude > 0.0);
+  const double a = spec.k_start;
+  const double b = spec.k_stop;
+  const double x = amplitude;
+  // Piecewise-linear decomposition of the effective probability
+  // min(2 * ramp(q), 1) — see MarkingSpec::red_effective_probability.
+  const double m1 = 2.0 * spec.red_max_p / (b - a);
+  double b1 = 0.0;
+  const double q1 = a + 1.0 / m1;  // where the doubled first ramp hits 1
+  if (q1 <= b) {
+    b1 += m1 * (ramp_s(a, x) - ramp_s(q1, x));
+  } else if (spec.red_gentle) {
+    b1 += m1 * (ramp_s(a, x) - ramp_s(b, x));
+    const double m2 = 2.0 * (1.0 - spec.red_max_p) / b;
+    // The doubled gentle ramp always saturates before 2*max_th.
+    const double q2 = b + (1.0 - 2.0 * spec.red_max_p) / m2;
+    b1 += m2 * (ramp_s(b, x) - ramp_s(q2, x));
+  } else {
+    b1 += m1 * (ramp_s(a, x) - ramp_s(b, x));
+    b1 += (1.0 - 2.0 * spec.red_max_p) * step_u(b, x) / M_PI;
+  }
+  return Complex(b1 / x, 0.0);
+}
+
+Complex df_saturation(double amplitude, double limit) {
+  assert(amplitude > 0.0 && limit > 0.0);
+  if (amplitude <= limit) return Complex(1.0, 0.0);
+  const double rho = limit / amplitude;
+  const double n =
+      2.0 / M_PI * (std::asin(rho) + rho * std::sqrt(1.0 - rho * rho));
+  return Complex(n, 0.0);
+}
+
 double characteristic_gain(const fluid::MarkingSpec& spec) {
+  switch (spec.kind) {
+    case fluid::MarkingKind::kRedRamp:
+      // The (Floyd-doubled) ramp slope, the loop gain RED contributes
+      // around its operating point.
+      return 2.0 * spec.red_max_p / (spec.k_stop - spec.k_start);
+    case fluid::MarkingKind::kPie:
+      // PIE's gain lives entirely in its linear PI filter.
+      return 1.0;
+    case fluid::MarkingKind::kSingle:
+    case fluid::MarkingKind::kHysteresis:
+      break;
+  }
   // K0 = 1/K for the relay (Eq. 19), 1/K2 for the hysteresis (Eq. 24).
   return 1.0 / spec.k_stop;
 }
 
 Complex relative_df(const fluid::MarkingSpec& spec, double amplitude) {
-  const Complex n = spec.is_hysteresis
-                        ? df_dtdctcp(amplitude, spec.k_start, spec.k_stop)
-                        : df_dctcp(amplitude, spec.k_start);
+  assert(spec.kind != fluid::MarkingKind::kPie &&
+         "PIE's DF depends on the plant operating point; use MarkingModel");
+  Complex n;
+  switch (spec.kind) {
+    case fluid::MarkingKind::kHysteresis:
+      n = df_dtdctcp(amplitude, spec.k_start, spec.k_stop);
+      break;
+    case fluid::MarkingKind::kRedRamp:
+      n = df_red(amplitude, spec);
+      break;
+    default:
+      n = df_dctcp(amplitude, spec.k_start);
+      break;
+  }
   return n / characteristic_gain(spec);
 }
 
@@ -40,8 +122,13 @@ Complex neg_recip_relative_df(const fluid::MarkingSpec& spec,
   return -1.0 / relative_df(spec, amplitude);
 }
 
-double max_real_neg_recip(const fluid::MarkingSpec& spec, double x_min,
-                          double x_max, double* arg_x) {
+double max_real_of_locus(const std::function<Complex(double)>& neg_recip,
+                         double x_min, double x_max, double* arg_x) {
+  // NaN-free on degenerate ranges: a non-positive or empty [x_min,
+  // x_max] collapses to a tiny positive point instead of feeding 0 or a
+  // negative base into the log-spaced scan.
+  if (!(x_min > 0.0)) x_min = 1e-12;
+  if (!(x_max > x_min)) x_max = x_min;
   // -1/N0 is smooth in X; golden-section on Re is enough (the relay's
   // maximum is the known -pi at X = K*sqrt(2), used by the tests).
   constexpr int kScan = 2000;
@@ -50,7 +137,7 @@ double max_real_neg_recip(const fluid::MarkingSpec& spec, double x_min,
   for (int i = 0; i <= kScan; ++i) {
     const double x =
         x_min * std::pow(x_max / x_min, static_cast<double>(i) / kScan);
-    const double re = neg_recip_relative_df(spec, x).real();
+    const double re = neg_recip(x).real();
     if (re > best) {
       best = re;
       best_x = x;
@@ -64,17 +151,23 @@ double max_real_neg_recip(const fluid::MarkingSpec& spec, double x_min,
   for (int it = 0; it < 200; ++it) {
     const double m1 = lo + (hi - lo) / 3.0;
     const double m2 = hi - (hi - lo) / 3.0;
-    if (neg_recip_relative_df(spec, m1).real() <
-        neg_recip_relative_df(spec, m2).real()) {
+    if (neg_recip(m1).real() < neg_recip(m2).real()) {
       lo = m1;
     } else {
       hi = m2;
     }
   }
   best_x = 0.5 * (lo + hi);
-  best = neg_recip_relative_df(spec, best_x).real();
+  best = neg_recip(best_x).real();
   if (arg_x != nullptr) *arg_x = best_x;
   return best;
+}
+
+double max_real_neg_recip(const fluid::MarkingSpec& spec, double x_min,
+                          double x_max, double* arg_x) {
+  return max_real_of_locus(
+      [&spec](double x) { return neg_recip_relative_df(spec, x); }, x_min,
+      x_max, arg_x);
 }
 
 Complex numeric_df(const fluid::MarkingSpec& spec, double amplitude,

@@ -1,4 +1,6 @@
-// Describing functions of the marking nonlinearities (paper Eq. 20-28).
+// Describing functions of the marking nonlinearities (paper Eq. 20-28,
+// extended to the RED ramp and the PIE probability clamp for the
+// stability atlas).
 //
 // DCTCP relay (X >= K):
 //   N_dc(X)  = 2/(pi X) * sqrt(1 - (K/X)^2)                       (Eq. 22)
@@ -13,6 +15,31 @@
 // starting the marking early and stopping it early; it pushes -1/N0dt
 // away from the plant locus, which is the paper's stability argument.
 //
+// RED ramp: the effective marking probability is a one-sided piecewise-
+// linear map of the (filtered) queue — see
+// fluid::MarkingSpec::red_effective_probability. Its first-harmonic DF
+// for an input X sin(wt), thresholds measured from the sine's center
+// like the relay's, is real and closed-form: each clamped ramp segment
+// [c, d) of slope m contributes m [S(c) - S(d)] / X and each step of
+// height h at t contributes h u(t) / (pi X), where
+//   u(t) = 2 sqrt(1 - (t/X)^2),
+//   S(t) = (1/pi) [X v(t) - t u(t)],
+//   v(t) = (pi - 2 asin(t/X))/2 + sin(asin(t/X)) cos(asin(t/X)),
+// all zero for t >= X. The relay is the single step h = 1 at K, which
+// recovers Eq. 22 — the tests pin this. K0 is the ramp slope at the
+// operating point, max_p/(max_th - min_th) doubled for Floyd spacing.
+//
+// PIE clamp: the PI controller is linear in the queue; the only
+// nonlinearity is the clamp of p to [0, 1]. Around an operating
+// probability p0 it is a saturation with limit L = min(p0, 1 - p0) and
+// unit slope, whose DF is the textbook
+//   N_sat(A) = 1                                       for A <= L,
+//   N_sat(A) = (2/pi) [asin(L/A) + (L/A) sqrt(1-(L/A)^2)]  for A > L,
+// with K0 = 1 (the controller's gain is in the linear loop filter).
+// Since p0 depends on the plant operating point, the PIE pieces are
+// assembled by analysis::MarkingModel, not by the spec-only helpers
+// below.
+//
 // `numeric_df` computes the same quantity by direct Fourier quadrature
 // of the stateful nonlinearity driven by a sinusoid; the tests use it to
 // validate the closed forms (and it covers regimes the closed forms
@@ -20,6 +47,7 @@
 #pragma once
 
 #include <complex>
+#include <functional>
 
 #include "fluid/marking.h"
 
@@ -33,10 +61,24 @@ Complex df_dctcp(double amplitude, double k);
 /// Closed-form DF of DT-DCTCP's hysteresis; X must be >= K2.
 Complex df_dtdctcp(double amplitude, double k1, double k2);
 
-/// Relative DF N0(X) = K0^-1 * N(X) (Eq. 8) for either rule.
+/// Closed-form DF of the RED ramp (the *effective* probability of
+/// queue::RedQueue, Floyd-doubled and clamped at 1 — see
+/// fluid::MarkingSpec::red_effective_probability). Real-valued; defined
+/// for every X > 0 but identically zero until X exceeds min_th.
+Complex df_red(double amplitude, const fluid::MarkingSpec& spec);
+
+/// Closed-form DF of a unit-slope symmetric saturation with limit L:
+/// 1 for A <= L, shrinking as (2/pi)(asin(L/A) + (L/A)sqrt(1-(L/A)^2))
+/// beyond. Real-valued, in (0, 1].
+Complex df_saturation(double amplitude, double limit);
+
+/// Relative DF N0(X) = K0^-1 * N(X) (Eq. 8) for the spec-only rules
+/// (relay, hysteresis, RED ramp). kPie needs the plant operating point;
+/// use analysis::MarkingModel.
 Complex relative_df(const fluid::MarkingSpec& spec, double amplitude);
 
-/// Characteristic gain K0 (1/K for DCTCP, 1/K2 for DT-DCTCP).
+/// Characteristic gain K0 (1/K for DCTCP, 1/K2 for DT-DCTCP, the
+/// Floyd-doubled ramp slope for RED).
 double characteristic_gain(const fluid::MarkingSpec& spec);
 
 /// -1/N0(X); the locus compared against K0*G(jw).
@@ -45,9 +87,16 @@ Complex neg_recip_relative_df(const fluid::MarkingSpec& spec,
 
 /// Largest real part attained by -1/N0(X) over X in [X_min, X_max]
 /// (paper: max(-1/N0dc) = -pi at X = K*sqrt(2)). Returns the argmax
-/// through `arg_x` when non-null.
+/// through `arg_x` when non-null. Degenerate inputs (x_min <= 0 or
+/// x_max <= x_min) are clamped rather than propagating NaN.
 double max_real_neg_recip(const fluid::MarkingSpec& spec, double x_min,
                           double x_max, double* arg_x = nullptr);
+
+/// Generic form of the scan above for any -1/N0(x) locus (used by
+/// MarkingModel for the plant-dependent PIE locus).
+double max_real_of_locus(const std::function<Complex(double)>& neg_recip,
+                         double x_min, double x_max,
+                         double* arg_x = nullptr);
 
 /// DF of the nonlinearity computed numerically: drive
 /// y(t) = rule(bias + X sin(wt)) for a warmup cycle, then integrate the
@@ -55,6 +104,7 @@ double max_real_neg_recip(const fluid::MarkingSpec& spec, double x_min,
 /// orthogonal to the fundamental and drops out). The paper's closed
 /// forms measure thresholds from the sine's center, i.e. bias = 0;
 /// non-zero bias explores the regimes the closed forms exclude.
+/// Supports every fluid::MarkingAutomaton rule (not kPie).
 Complex numeric_df(const fluid::MarkingSpec& spec, double amplitude,
                    double bias, int samples_per_cycle = 20000);
 

@@ -7,7 +7,15 @@
 //   * phase margin  — extra phase lag tolerated where |K0*G| = pi.
 // For the hysteresis the same numbers are computed against the
 // rightmost point of its -1/N0 locus (a conservative scalar summary;
-// the full 2-D test lives in nyquist.h).
+// the full 2-D test lives in nyquist.h). The atlas rules follow the
+// same recipe with their loop filter folded in: the loop is
+// K0*G(jw)*H(jw) and the critical level is the rightmost point of the
+// rule's own -1/N0 locus (pi for the relay, 1 for PIE's clamp).
+//
+// Results are NaN-free across the atlas grid's edge cases, pinned by
+// tests: no -180deg crossing in the band (gain_margin 1e9 / 180 dB),
+// |K0*G*H| never reaching the critical level (phase_margin 0), and a
+// degenerate band w_lo >= w_hi (both defaults).
 #pragma once
 
 #include "analysis/describing_function.h"

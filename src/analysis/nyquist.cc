@@ -2,34 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 namespace dtdctcp::analysis {
 
 namespace {
 
-double df_validity_bound(const fluid::MarkingSpec& spec) {
-  // The closed forms require X >= K (relay) or X >= K2 (hysteresis).
-  return spec.k_stop;
+Complex residual(const MarkingModel& m, double x, double w) {
+  return m.loop_response(w) + 1.0 / m.relative_df(x);
 }
 
-Complex residual(const PlantParams& plant, const fluid::MarkingSpec& spec,
-                 double x, double w) {
-  const double k0 = characteristic_gain(spec);
-  return k0 * plant_response(plant, w) +
-         1.0 / relative_df(spec, x);
-}
-
-/// Damped 2-D Newton on (X, w) with a finite-difference Jacobian.
-bool newton_refine(const PlantParams& plant, const fluid::MarkingSpec& spec,
-                   double& x, double& w, double x_min, double tol) {
+/// Damped 2-D Newton on (x, w) with a finite-difference Jacobian.
+bool newton_refine(const MarkingModel& m, double& x, double& w, double x_min,
+                   double tol) {
   for (int it = 0; it < 100; ++it) {
-    const Complex f = residual(plant, spec, x, w);
+    const Complex f = residual(m, x, w);
     const double err = std::abs(f);
     if (err < tol) return true;
     const double hx = std::max(1e-9, 1e-7 * x);
     const double hw = std::max(1e-9, 1e-7 * w);
-    const Complex fx = (residual(plant, spec, x + hx, w) - f) / hx;
-    const Complex fw = (residual(plant, spec, x, w + hw) - f) / hw;
+    const Complex fx = (residual(m, x + hx, w) - f) / hx;
+    const Complex fw = (residual(m, x, w + hw) - f) / hw;
     // Solve [Re fx Re fw; Im fx Im fw] * [dx dw]' = -[Re f; Im f].
     const double det = fx.real() * fw.imag() - fw.real() * fx.imag();
     if (std::abs(det) < 1e-30) return false;
@@ -45,7 +38,7 @@ bool newton_refine(const PlantParams& plant, const fluid::MarkingSpec& spec,
     x += scale * dx;
     w += scale * dw;
   }
-  return std::abs(residual(plant, spec, x, w)) < tol;
+  return std::abs(residual(m, x, w)) < tol;
 }
 
 }  // namespace
@@ -54,22 +47,27 @@ StabilityReport analyze(const PlantParams& plant,
                         const fluid::MarkingSpec& marking,
                         const SolverOptions& opt) {
   StabilityReport report;
-  const double x_min = df_validity_bound(marking) * (1.0 + 1e-9);
-  const double x_max = df_validity_bound(marking) * opt.x_max_factor;
+  const MarkingModel model = MarkingModel::make(marking, plant);
+  const double x_min = model.x_min * (1.0 + 1e-9);
+  const double x_max =
+      model.x_search_max(opt.x_max_factor, opt.w_lo, opt.w_hi);
 
-  report.max_real_neg_recip =
-      max_real_neg_recip(marking, x_min, x_max);
+  report.max_real_neg_recip = model.max_real_neg_recip(x_max);
 
-  // Negative-real-axis crossing of the plant locus (diagnostic; exact
-  // stability test for the relay whose -1/N0 lies on the real axis).
+  // Negative-real-axis crossing of the loop locus (diagnostic; exact
+  // stability test for the rules whose -1/N0 lies on the real axis).
   double crossings[4] = {0, 0, 0, 0};
-  const int ncross =
-      phase_crossings(plant, opt.w_lo, opt.w_hi, crossings, 4);
+  int ncross = 0;
+  if (model.has_filter()) {
+    ncross = phase_crossings(
+        plant, [&model](double w) { return model.filter_phase(w); },
+        opt.w_lo, opt.w_hi, crossings, 4);
+  } else {
+    ncross = phase_crossings(plant, opt.w_lo, opt.w_hi, crossings, 4);
+  }
   if (ncross > 0) {
     report.crossing_omega = crossings[0];
-    report.crossing_real =
-        (characteristic_gain(marking) * plant_response(plant, crossings[0]))
-            .real();
+    report.crossing_real = model.loop_response(crossings[0]).real();
   }
 
   // Seed grid for the 2-D root finder.
@@ -82,7 +80,7 @@ StabilityReport analyze(const PlantParams& plant,
   seeds.reserve(kXSeeds * (kWSeeds + ncross * 8));
 
   auto push_seed = [&](double x, double w) {
-    const double err = std::abs(residual(plant, marking, x, w));
+    const double err = std::abs(residual(model, x, w));
     seeds.push_back({x, w, err});
   };
 
@@ -117,11 +115,11 @@ StabilityReport analyze(const PlantParams& plant,
   for (std::size_t i = 0; i < tries; ++i) {
     double x = seeds[i].x;
     double w = seeds[i].w;
-    if (!newton_refine(plant, marking, x, w, x_min, tol)) continue;
+    if (!newton_refine(model, x, w, x_min, tol)) continue;
     if (x < x_min || x > x_max * 10.0 || w <= 0.0) continue;
     bool dup = false;
     for (const auto& r : roots) {
-      if (std::abs(r.amplitude - x) < 1e-4 * x &&
+      if (std::abs(r.input_amplitude - x) < 1e-4 * x &&
           std::abs(r.omega - w) < 1e-4 * w) {
         dup = true;
         break;
@@ -129,9 +127,11 @@ StabilityReport analyze(const PlantParams& plant,
     }
     if (dup) continue;
     LimitCycle lc;
-    lc.amplitude = x;
+    lc.input_amplitude = x;
+    lc.amplitude = model.queue_amplitude(x, w);
+    if (lc.amplitude < opt.min_queue_amplitude) continue;
     lc.omega = w;
-    lc.residual = std::abs(residual(plant, marking, x, w));
+    lc.residual = std::abs(residual(model, x, w));
     roots.push_back(lc);
   }
 
@@ -150,43 +150,97 @@ StabilityReport analyze(const PlantParams& plant,
   return report;
 }
 
+CriticalFlows critical_flows_bracket(PlantParams plant,
+                                     const fluid::MarkingSpec& marking,
+                                     int n_lo, int n_hi,
+                                     const SolverOptions& opt) {
+  CriticalFlows result;
+  if (n_lo > n_hi) return result;
+  auto intersects_at = [&](int n) {
+    plant.flows = static_cast<double>(n);
+    return analyze(plant, marking, opt).intersects;
+  };
+  if (intersects_at(n_lo)) {
+    result.critical_n = n_lo;
+    return result;  // onset at or below the range; no stable bracket
+  }
+  if (n_lo == n_hi || !intersects_at(n_hi)) {
+    result.stable_n = n_hi;
+    return result;  // whole range stable
+  }
+  // Invariant: lo stable, hi cycling. Relies on `intersects` being
+  // monotone in N (see header); the regression test pins agreement with
+  // the linear scan on the paper's operating point.
+  int lo = n_lo;
+  int hi = n_hi;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    if (intersects_at(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.stable_n = lo;
+  result.critical_n = hi;
+  return result;
+}
+
 int critical_flows(PlantParams plant, const fluid::MarkingSpec& marking,
                    int n_lo, int n_hi, const SolverOptions& opt) {
-  for (int n = n_lo; n <= n_hi; ++n) {
-    plant.flows = static_cast<double>(n);
-    if (analyze(plant, marking, opt).intersects) return n;
-  }
-  return -1;
+  return critical_flows_bracket(plant, marking, n_lo, n_hi, opt).critical_n;
 }
 
 std::vector<std::pair<double, Complex>> sample_plant_locus(
     const PlantParams& plant, const fluid::MarkingSpec& marking, double w_lo,
     double w_hi, int count) {
   std::vector<std::pair<double, Complex>> out;
+  if (count <= 0) return out;
   out.reserve(count);
-  const double k0 = characteristic_gain(marking);
+  const MarkingModel model = MarkingModel::make(marking, plant);
   for (int i = 0; i < count; ++i) {
     const double w =
         w_lo * std::pow(w_hi / w_lo,
                         static_cast<double>(i) / std::max(1, count - 1));
-    out.emplace_back(w, k0 * plant_response(plant, w));
+    out.emplace_back(w, model.loop_response(w));
   }
   return out;
 }
 
-std::vector<std::pair<double, Complex>> sample_df_locus(
-    const fluid::MarkingSpec& marking, double x_max_factor, int count) {
+namespace {
+
+std::vector<std::pair<double, Complex>> sample_locus(
+    const MarkingModel& model, double x_max_factor, int count) {
   std::vector<std::pair<double, Complex>> out;
+  if (count <= 0) return out;
   out.reserve(count);
-  const double x_min = df_validity_bound(marking) * (1.0 + 1e-6);
-  const double x_max = df_validity_bound(marking) * x_max_factor;
+  const double x_min = model.x_min * (1.0 + 1e-6);
+  // A factor at or below 1 would start the log-spaced walk below the
+  // validity bound (sqrt of a negative ratio -> NaN); clamp to the
+  // single-point locus at the bound instead.
+  const double x_max = std::max(model.x_min * x_max_factor, x_min);
   for (int i = 0; i < count; ++i) {
     const double x =
         x_min * std::pow(x_max / x_min,
                          static_cast<double>(i) / std::max(1, count - 1));
-    out.emplace_back(x, neg_recip_relative_df(marking, x));
+    out.emplace_back(x, model.neg_recip(x));
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<double, Complex>> sample_df_locus(
+    const fluid::MarkingSpec& marking, double x_max_factor, int count) {
+  return sample_locus(MarkingModel::make(marking, PlantParams{}),
+                      x_max_factor, count);
+}
+
+std::vector<std::pair<double, Complex>> sample_df_locus(
+    const PlantParams& plant, const fluid::MarkingSpec& marking,
+    double x_max_factor, int count) {
+  return sample_locus(MarkingModel::make(marking, plant), x_max_factor,
+                      count);
 }
 
 }  // namespace dtdctcp::analysis

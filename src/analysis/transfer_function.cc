@@ -1,20 +1,42 @@
 #include "analysis/transfer_function.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace dtdctcp::analysis {
 
+namespace {
+
+/// D2TCP loop-gain correction gamma = d * alpha0^(d-1) at the operating
+/// point alpha0 = sqrt(2/W0), W0 = R0*C/N (clamped to a valid marking
+/// fraction). d = 1 gives exactly 1.
+double d2tcp_gamma(const PlantParams& p) {
+  const double w0 = std::max(1.0, p.rtt * p.capacity_pps / p.flows);
+  const double alpha0 = std::min(1.0, std::sqrt(2.0 / w0));
+  return p.d2tcp_d * std::pow(alpha0, p.d2tcp_d - 1.0);
+}
+
+}  // namespace
+
 Complex plant_rational(const PlantParams& p, Complex s) {
   const double r = p.rtt;
   const double inv_r = 1.0 / r;
+  if (p.cc == CcVariant::kEcnReno) {
+    const double gain = p.capacity_pps * p.capacity_pps / (2.0 * p.flows);
+    const double pole_w = 2.0 * p.flows / (r * r * p.capacity_pps);
+    const double pole_q = inv_r;
+    return gain / ((s + pole_w) * (s + pole_q));
+  }
   const double gain = std::sqrt(p.capacity_pps / (2.0 * p.flows * r));
   const double zero = 2.0 * p.g * inv_r;
   const double pole_alpha = p.g * inv_r;
   const double pole_w = p.flows / (r * r * p.capacity_pps);
   const double pole_q = inv_r;
 
-  return gain * (s + zero) * (p.flows * inv_r) /
-         ((s + pole_alpha) * (s + pole_w) * (s + pole_q));
+  Complex resp = gain * (s + zero) * (p.flows * inv_r) /
+                 ((s + pole_alpha) * (s + pole_w) * (s + pole_q));
+  if (p.cc == CcVariant::kD2tcp) resp *= d2tcp_gamma(p);
+  return resp;
 }
 
 Complex plant_response(const PlantParams& p, double w) {
@@ -23,41 +45,54 @@ Complex plant_response(const PlantParams& p, double w) {
   return plant_rational(p, s) * delay;
 }
 
-namespace {
-
-/// Continuous phase-minus(-pi) test function: positive while the locus
-/// is above -180deg. Uses unwrapped phase accumulated analytically:
-/// phase = atan2 terms of each factor minus w*R0 (exact, no wrapping).
-double phase_rel_pi(const PlantParams& p, double w) {
+double plant_phase(const PlantParams& p, double w) {
   const double r = p.rtt;
   const double inv_r = 1.0 / r;
+  if (p.cc == CcVariant::kEcnReno) {
+    const double pole_w = 2.0 * p.flows / (r * r * p.capacity_pps);
+    const double pole_q = inv_r;
+    return -std::atan2(w, pole_w) - std::atan2(w, pole_q) - w * r;
+  }
+  // kD2tcp's gamma is a positive real gain: phase identical to kDctcp.
   const double zero = 2.0 * p.g * inv_r;
   const double pole_alpha = p.g * inv_r;
   const double pole_w = p.flows / (r * r * p.capacity_pps);
   const double pole_q = inv_r;
-  const double phase = std::atan2(w, zero) - std::atan2(w, pole_alpha) -
-                       std::atan2(w, pole_w) - std::atan2(w, pole_q) -
-                       w * r;
+  return std::atan2(w, zero) - std::atan2(w, pole_alpha) -
+         std::atan2(w, pole_w) - std::atan2(w, pole_q) - w * r;
+}
+
+namespace {
+
+/// Continuous phase-minus(-pi) test function: positive while the locus
+/// is above -180deg. Uses unwrapped phase accumulated analytically
+/// (exact, no wrapping), plus the loop filter's contribution when one
+/// is present.
+double phase_rel_pi(const PlantParams& p,
+                    const std::function<double(double)>& extra, double w) {
+  double phase = plant_phase(p, w);
+  if (extra) phase += extra(w);
   return phase + M_PI;  // crossing when this hits zero going down
 }
 
 }  // namespace
 
-int phase_crossings(const PlantParams& p, double w_lo, double w_hi,
-                    double* out, int max_roots) {
+int phase_crossings(const PlantParams& p,
+                    const std::function<double(double)>& extra_phase,
+                    double w_lo, double w_hi, double* out, int max_roots) {
   // The unwrapped phase is monotone-ish but the delay term makes it cross
   // -180deg repeatedly; scan log-spaced, bisect each sign change of
   // (phase + pi + 2*pi*k) for the k values encountered.
   constexpr int kSamples = 4000;
   int found = 0;
   double prev_w = w_lo;
-  double prev_v = phase_rel_pi(p, w_lo);
+  double prev_v = phase_rel_pi(p, extra_phase, w_lo);
   // Track crossings of phase == -pi - 2*pi*k for k = 0, 1, ... by
   // checking each branch value.
   for (int i = 1; i <= kSamples && found < max_roots; ++i) {
     const double frac = static_cast<double>(i) / kSamples;
     const double w = w_lo * std::pow(w_hi / w_lo, frac);
-    const double v = phase_rel_pi(p, w);
+    const double v = phase_rel_pi(p, extra_phase, w);
     // Which -pi-2*pi*k levels lie between prev_v and v?
     for (int k = 0; found < max_roots; ++k) {
       const double level = -2.0 * M_PI * static_cast<double>(k);
@@ -70,7 +105,8 @@ int phase_crossings(const PlantParams& p, double w_lo, double w_hi,
       double hi = w;
       for (int it = 0; it < 80; ++it) {
         const double mid = 0.5 * (lo + hi);
-        if ((phase_rel_pi(p, mid) - level) * (phase_rel_pi(p, lo) - level) <=
+        if ((phase_rel_pi(p, extra_phase, mid) - level) *
+                (phase_rel_pi(p, extra_phase, lo) - level) <=
             0.0) {
           hi = mid;
         } else {
@@ -83,6 +119,11 @@ int phase_crossings(const PlantParams& p, double w_lo, double w_hi,
     prev_v = v;
   }
   return found;
+}
+
+int phase_crossings(const PlantParams& p, double w_lo, double w_hi,
+                    double* out, int max_roots) {
+  return phase_crossings(p, {}, w_lo, w_hi, out, max_roots);
 }
 
 }  // namespace dtdctcp::analysis

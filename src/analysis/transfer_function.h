@@ -1,6 +1,7 @@
-// Linearized DCTCP plant transfer function (paper Eq. 13-18).
+// Linearized congestion-control plant transfer functions.
 //
-// The fluid model linearized around the operating point gives a plant
+// The paper's DCTCP fluid model linearized around the operating point
+// gives a plant (Eq. 13-18)
 //
 //             sqrt(C/(2 N R0)) * (2g/R0 + s) * (N/R0) * e^{-s R0}
 //   G(s) = -----------------------------------------------------------
@@ -8,9 +9,30 @@
 //
 // (Theorem 1's positive form; the loop's minus sign is carried by the
 // characteristic equation 1 + N(X) G(jw) = 0.)
+//
+// The stability atlas sweeps two more congestion controllers against
+// the same marking nonlinearities:
+//
+//  * kEcnReno — classic ECN (halve once per window on ECE). The
+//    Hollot/Misra/Towsley TCP+queue linearization:
+//        G(s) = (C^2 / 2N) * e^{-s R0}
+//               / ((s + 2N/(R0^2 C)) (s + 1/R0))
+//  * kD2tcp — D2TCP's gamma-corrected penalty p = alpha^d. Linearizing
+//    the penalty around alpha0 = sqrt(2/W0) multiplies the alpha ->
+//    window coupling, and hence the loop gain, by
+//        gamma = d * alpha0^(d-1)
+//    while leaving the pole/zero structure of the DCTCP plant intact
+//    (a documented approximation: the exact D2TCP plant would also
+//    shift the alpha EWMA zero, a second-order effect for d near 1).
+//    d = 1 recovers the DCTCP plant exactly.
+//
+// All variants map marking probability -> queue length with positive
+// DC gain; every loop-shaping factor beyond the plant (RED's EWMA,
+// PIE's PI controller) is composed by analysis::MarkingModel.
 #pragma once
 
 #include <complex>
+#include <functional>
 
 #include "util/units.h"
 
@@ -18,11 +40,20 @@ namespace dtdctcp::analysis {
 
 using Complex = std::complex<double>;
 
+/// Which congestion controller the linearized plant describes.
+enum class CcVariant {
+  kDctcp,    ///< paper Theorem 1 (also DT-DCTCP: differs at the switch)
+  kEcnReno,  ///< classic ECN TCP (Hollot-style plant)
+  kD2tcp,    ///< D2TCP: DCTCP plant scaled by gamma = d * alpha0^(d-1)
+};
+
 struct PlantParams {
   double capacity_pps = 833333.0;  ///< C in packets/sec
   double flows = 10.0;             ///< N
   double rtt = 1e-4;               ///< R0 in seconds
   double g = 1.0 / 16.0;           ///< DCTCP EWMA gain
+  CcVariant cc = CcVariant::kDctcp;
+  double d2tcp_d = 1.0;  ///< D2TCP urgency exponent (1 = DCTCP)
 };
 
 /// Evaluates G(jw) at angular frequency w (rad/s).
@@ -31,10 +62,22 @@ Complex plant_response(const PlantParams& p, double w);
 /// Evaluates G(s) without the delay factor (the rational part P(s)).
 Complex plant_rational(const PlantParams& p, Complex s);
 
+/// Exact unwrapped phase of G(jw) in radians (atan2 of each factor
+/// minus w*R0; no wrapping, so it decreases without bound with w).
+double plant_phase(const PlantParams& p, double w);
+
 /// Finds the angular frequencies in [w_lo, w_hi] where the phase of
 /// K0*G(jw) crosses -180 degrees (negative-real-axis crossings), by
 /// dense scan + bisection. Returns up to `max_roots` crossings.
 int phase_crossings(const PlantParams& p, double w_lo, double w_hi,
                     double* out, int max_roots);
+
+/// Same, for the loop G(jw) * H(jw): `extra_phase(w)` is the unwrapped
+/// phase contribution of the loop filter H (RED's EWMA lag, PIE's PI
+/// phase), added to the plant's. An empty function means H = 1 and
+/// reduces to the plant-only overload.
+int phase_crossings(const PlantParams& p,
+                    const std::function<double(double)>& extra_phase,
+                    double w_lo, double w_hi, double* out, int max_roots);
 
 }  // namespace dtdctcp::analysis

@@ -6,15 +6,19 @@
 //   core::run_incast         — synchronized fan-in on the paper testbed
 //   fluid::FluidModel        — the delay-differential fluid model
 //   analysis::analyze        — describing-function stability analysis
+//   analysis::run_stability_atlas — DF/bifurcation maps over the
+//                              AQM x CC x RTT x rate x buffer grid
 #pragma once
 
 #include "analysis/describing_function.h"
 #include "analysis/margins.h"
 #include "analysis/nyquist.h"
+#include "analysis/stability_atlas.h"
 #include "analysis/transfer_function.h"
 #include "core/dumbbell.h"
 #include "core/incast_experiment.h"
 #include "core/marking_config.h"
+#include "core/oscillation_probe.h"
 #include "core/testbed.h"
 #include "fluid/fluid_model.h"
 #include "fluid/marking.h"

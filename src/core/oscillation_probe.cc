@@ -1,0 +1,117 @@
+#include "core/oscillation_probe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "fluid/fluid_model.h"
+#include "queue/pie.h"
+#include "queue/red.h"
+
+namespace dtdctcp::core {
+
+namespace {
+
+tcp::CcMode cc_mode(analysis::CcVariant cc) {
+  switch (cc) {
+    case analysis::CcVariant::kEcnReno:
+      return tcp::CcMode::kEcnReno;
+    case analysis::CcVariant::kD2tcp:
+      return tcp::CcMode::kD2tcp;
+    case analysis::CcVariant::kDctcp:
+      break;
+  }
+  return tcp::CcMode::kDctcp;
+}
+
+}  // namespace
+
+DumbbellConfig probe_dumbbell_config(const OscillationProbeConfig& cfg) {
+  DumbbellConfig d;
+  d.flows = cfg.flows;
+  d.bottleneck_bps = cfg.rate_bps;
+  d.edge_bps = cfg.rate_bps;
+  d.rtt = cfg.rtt;
+  d.tcp.mode = cc_mode(cfg.cc);
+  d.tcp.mss_bytes = static_cast<std::uint32_t>(cfg.mss_bytes);
+  d.warmup = cfg.warmup;
+  d.measure = cfg.measure;
+  d.seed = cfg.seed;
+  d.trace_queue = true;
+
+  const auto limit =
+      static_cast<std::size_t>(std::max(1.0, cfg.buffer_pkts));
+  d.switch_buffer_packets = limit;
+  switch (cfg.spec.kind) {
+    case fluid::MarkingKind::kSingle:
+      d.marking = MarkingConfig::dctcp(cfg.spec.k_stop);
+      break;
+    case fluid::MarkingKind::kHysteresis:
+      d.marking =
+          MarkingConfig::dt_dctcp(cfg.spec.k_start, cfg.spec.k_stop);
+      break;
+    case fluid::MarkingKind::kRedRamp: {
+      queue::RedConfig red;
+      red.min_th = cfg.spec.k_start;
+      red.max_th = cfg.spec.k_stop;
+      red.max_p = cfg.spec.red_max_p;
+      red.weight = cfg.spec.red_weight;
+      red.gentle = cfg.spec.red_gentle;
+      red.ecn_mode = true;
+      red.seed = cfg.seed;
+      d.bottleneck_override = [limit, red] {
+        return std::make_unique<queue::RedQueue>(0, limit, red);
+      };
+      break;
+    }
+    case fluid::MarkingKind::kPie: {
+      queue::PieConfig pie;
+      pie.target_delay = cfg.spec.pie_target_delay;
+      pie.update_interval = cfg.spec.pie_update_interval;
+      pie.alpha = cfg.spec.pie_alpha;
+      pie.beta = cfg.spec.pie_beta;
+      pie.seed = cfg.seed;
+      const double rate = cfg.rate_bps;
+      d.bottleneck_override = [limit, pie, rate] {
+        return std::make_unique<queue::PieQueue>(0, limit, pie, rate);
+      };
+      break;
+    }
+  }
+  return d;
+}
+
+OscillationProbeResult run_oscillation_probe(
+    const OscillationProbeConfig& cfg) {
+  const DumbbellConfig d = probe_dumbbell_config(cfg);
+  const DumbbellResult r = run_dumbbell(d);
+
+  OscillationProbeResult out;
+  out.queue_mean = r.queue_mean;
+  out.queue_stddev = r.queue_stddev;
+  out.utilization = r.utilization;
+  // The raw trace has one sample per queue event, so mean crossings
+  // would track packet noise. Average into RTT/4 bins first (the cycles
+  // under study span several RTTs) and demand crossings clear a band of
+  // half the binned stddev.
+  const stats::TimeSeries binned =
+      stats::bin_mean(r.queue_trace, cfg.rtt / 4.0, cfg.warmup);
+  out.amplitude_pkts = fluid::oscillation_amplitude(binned, 0.0);
+  const double binned_sd = binned.summarize(0.0).stddev();
+  out.amplitude_rms_pkts = std::sqrt(2.0) * binned_sd;
+  const double band = 0.5 * binned_sd;
+  const auto osc = stats::estimate_oscillation(binned, 0.0, band);
+  out.frequency_hz = osc.frequency_hz;
+  out.cycles = osc.cycles;
+  return out;
+}
+
+bool within_factor(double observed, double predicted, double factor) {
+  if (!(observed > 0.0) || !(predicted > 0.0) || !(factor >= 1.0)) {
+    return false;
+  }
+  const double ratio = observed / predicted;
+  return ratio <= factor && ratio >= 1.0 / factor;
+}
+
+}  // namespace dtdctcp::core

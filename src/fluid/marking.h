@@ -7,28 +7,122 @@
 
 namespace dtdctcp::fluid {
 
-/// Threshold specification, in packets. `single()` is DCTCP's relay
-/// (mark while q >= K); `hysteresis()` is DT-DCTCP (start at k_start
-/// rising; stop when the queue is falling below k_stop, k_start <=
-/// k_stop — see queue::EcnHysteresisQueue for the full semantics).
-struct MarkingSpec {
-  bool is_hysteresis = false;
-  double k_start = 40.0;  ///< K (single) or K1 (hysteresis)
-  double k_stop = 40.0;   ///< K (single) or K2 (hysteresis)
+/// Which marking rule a MarkingSpec describes.
+enum class MarkingKind {
+  kSingle,      ///< DCTCP relay: mark while q >= K
+  kHysteresis,  ///< DT-DCTCP: start at K1 rising, stop below K2 falling
+  kRedRamp,     ///< RED: probability ramp on the (EWMA-filtered) queue
+  kPie,         ///< PIE: PI controller on queueing delay, clamped to [0,1]
+};
 
-  static MarkingSpec single(double k) { return {false, k, k}; }
-  static MarkingSpec hysteresis(double k1, double k2) {
-    assert(k1 <= k2);
-    return {true, k1, k2};
+/// Marking-rule specification, thresholds in packets. `single()` is
+/// DCTCP's relay (mark while q >= K); `hysteresis()` is DT-DCTCP (start
+/// at k_start rising; stop when the queue is falling below k_stop,
+/// k_start <= k_stop — see queue::EcnHysteresisQueue for the full
+/// semantics). `red()` and `pie()` describe the two classic AQMs of
+/// src/queue for the stability atlas: RED's static probability ramp
+/// (its EWMA low-pass is a *linear* filter and lives in the analysis
+/// layer's loop model, not in this nonlinearity) and PIE's [0,1]
+/// probability clamp (the PI controller itself is linear too).
+struct MarkingSpec {
+  MarkingKind kind = MarkingKind::kSingle;
+  double k_start = 40.0;  ///< K / K1 / RED min_th (unused by PIE)
+  double k_stop = 40.0;   ///< K / K2 / RED max_th (unused by PIE)
+
+  // RED ramp parameters (kRedRamp; mirror queue::RedConfig).
+  double red_max_p = 0.1;     ///< marking probability at max_th
+  double red_weight = 0.002;  ///< EWMA gain w_q (used by the loop filter)
+  bool red_gentle = true;     ///< ramp to 1 between max_th and 2*max_th
+
+  // PIE controller parameters (kPie; mirror queue::PieConfig).
+  double pie_target_delay = 50e-6;     ///< seconds
+  double pie_update_interval = 100e-6; ///< seconds
+  double pie_alpha = 0.125;            ///< p per update per s of delay error
+  double pie_beta = 1.25;              ///< p per update per s of delay trend
+
+  static MarkingSpec single(double k) {
+    MarkingSpec s;
+    s.kind = MarkingKind::kSingle;
+    s.k_start = s.k_stop = k;
+    return s;
   }
 
-  /// Midpoint, the characteristic level the queue hovers around.
+  static MarkingSpec hysteresis(double k1, double k2) {
+    assert(k1 <= k2);
+    MarkingSpec s;
+    s.kind = MarkingKind::kHysteresis;
+    s.k_start = k1;
+    s.k_stop = k2;
+    return s;
+  }
+
+  static MarkingSpec red(double min_th, double max_th, double max_p = 0.1,
+                         bool gentle = true, double weight = 0.002) {
+    assert(min_th < max_th);
+    assert(max_p > 0.0 && max_p <= 1.0);
+    MarkingSpec s;
+    s.kind = MarkingKind::kRedRamp;
+    s.k_start = min_th;
+    s.k_stop = max_th;
+    s.red_max_p = max_p;
+    s.red_gentle = gentle;
+    s.red_weight = weight;
+    return s;
+  }
+
+  static MarkingSpec pie(double target_delay = 50e-6,
+                         double update_interval = 100e-6,
+                         double alpha = 0.125, double beta = 1.25) {
+    MarkingSpec s;
+    s.kind = MarkingKind::kPie;
+    s.k_start = s.k_stop = 0.0;
+    s.pie_target_delay = target_delay;
+    s.pie_update_interval = update_interval;
+    s.pie_alpha = alpha;
+    s.pie_beta = beta;
+    return s;
+  }
+
+  /// Midpoint, the characteristic level the queue hovers around (for
+  /// kPie the operating queue depends on the drain rate, target_delay *
+  /// C, which this rate-free spec cannot know; callers that need it
+  /// compute it from their PlantParams).
   double midpoint() const { return 0.5 * (k_start + k_stop); }
+
+  /// RED's configured ramp p(q): 0 below min_th, linear to max_p at
+  /// max_th, then (gentle) linear to 1 at 2*max_th or (non-gentle) a
+  /// step to 1.
+  double red_probability(double q) const {
+    assert(kind == MarkingKind::kRedRamp);
+    if (q < k_start) return 0.0;
+    if (q < k_stop) {
+      return red_max_p * (q - k_start) / (k_stop - k_start);
+    }
+    if (!red_gentle) return 1.0;
+    if (q >= 2.0 * k_stop) return 1.0;
+    return red_max_p + (1.0 - red_max_p) * (q - k_stop) / k_stop;
+  }
+
+  /// RED's *effective* per-arrival marking probability as implemented
+  /// by queue::RedQueue: Floyd's uniformized inter-mark spacing
+  /// (p_a = p_b / (1 - count * p_b)) makes the gap between marks
+  /// uniform on {1..1/p_b}, so the long-run marked fraction is
+  /// ~2 p_b / (1 + p_b) — about twice the configured ramp at small p.
+  /// Modeled as min(2 p, 1); this is what the fluid model and the
+  /// describing function must see to match the packet queue.
+  double red_effective_probability(double q) const {
+    return std::min(1.0, 2.0 * red_probability(q));
+  }
 };
 
 /// Stateful evaluation of the marking rule along a queue trajectory.
 /// For the single threshold the state is ignored; for hysteresis the
-/// automaton mirrors queue::EcnHysteresisQueue (peak-detection trend).
+/// automaton mirrors queue::EcnHysteresisQueue (peak-detection trend);
+/// for the RED ramp the output is the memoryless effective probability
+/// (the EWMA is a linear filter handled by the analysis loop model; the
+/// fluid trajectory is already smooth). kPie is not representable as a
+/// memoryless map of q and is rejected — PIE lives in the analysis
+/// layer's quasi-linear loop model (analysis::MarkingModel).
 class MarkingAutomaton {
  public:
   /// `trend_margin` <= 0 selects max(1, (k_stop-k_start)/8); the fluid
@@ -37,13 +131,21 @@ class MarkingAutomaton {
       : spec_(spec),
         margin_(trend_margin > 0.0
                     ? trend_margin
-                    : std::max(1.0, (spec.k_stop - spec.k_start) / 8.0)) {}
+                    : std::max(1.0, (spec.k_stop - spec.k_start) / 8.0)) {
+    assert(spec.kind != MarkingKind::kPie &&
+           "PIE is stateful in time, not in q; use analysis::MarkingModel");
+  }
 
-  /// Feeds the next queue sample; returns p in {0, 1}.
+  /// Feeds the next queue sample; returns p in [0, 1] ({0, 1} for the
+  /// threshold rules).
   double update(double q) {
-    if (!spec_.is_hysteresis) {
+    if (spec_.kind == MarkingKind::kSingle) {
       prev_ = q;
       return q >= spec_.k_start ? 1.0 : 0.0;
+    }
+    if (spec_.kind == MarkingKind::kRedRamp) {
+      prev_ = q;
+      return spec_.red_effective_probability(q);
     }
     if (!marking_) {
       trough_ = std::min(trough_, q);

@@ -19,8 +19,17 @@ struct OscillationEstimate {
 /// to samples with time >= from) by counting upward crossings of the
 /// trace mean. Robust for the near-periodic relay/hysteresis limit
 /// cycles this project studies; not a general spectral estimator.
+///
+/// `band` (same units as the values) suppresses noise crossings: an
+/// upward crossing counts only at value > mean + band, and only after
+/// the trace has dropped below mean - band since the previous one. The
+/// default 0 counts every mean crossing — fine for smooth fluid-model
+/// traces, but a per-event packet trace needs a band (and usually
+/// `bin_mean` first) or the count tracks packet noise instead of the
+/// macroscopic cycle.
 inline OscillationEstimate estimate_oscillation(const TimeSeries& trace,
-                                                double from = 0.0) {
+                                                double from = 0.0,
+                                                double band = 0.0) {
   OscillationEstimate est;
   Streaming window;
   for (const auto& s : trace.samples()) {
@@ -29,27 +38,55 @@ inline OscillationEstimate estimate_oscillation(const TimeSeries& trace,
   if (window.count() < 4) return est;
   est.mean = window.mean();
 
-  bool above = false;
-  bool primed = false;
+  bool armed = false;  ///< below mean - band since the last crossing
   double first = 0.0;
   double last = 0.0;
   std::size_t upward = 0;
   for (const auto& s : trace.samples()) {
     if (s.time < from) continue;
-    const bool now_above = s.value > est.mean;
-    if (primed && now_above && !above) {
+    if (s.value < est.mean - band) armed = true;
+    if (armed && s.value > est.mean + band) {
       if (upward == 0) first = s.time;
       last = s.time;
       ++upward;
+      armed = false;
     }
-    above = now_above;
-    primed = true;
   }
   if (upward >= 2 && last > first) {
     est.cycles = upward - 1;
     est.frequency_hz = static_cast<double>(est.cycles) / (last - first);
   }
   return est;
+}
+
+/// Averages `trace` into fixed-width time bins of `dt` seconds starting
+/// at `from`, stamping each bin at its center. Empty bins are skipped.
+/// De-noises per-event packet traces before crossing counting; pick dt
+/// well below the period of interest (e.g. RTT/4 for RTT-scale cycles).
+inline TimeSeries bin_mean(const TimeSeries& trace, double dt,
+                           double from = 0.0) {
+  TimeSeries out;
+  if (!(dt > 0.0)) return out;
+  double bin_end = from + dt;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& s : trace.samples()) {
+    if (s.time < from) continue;
+    while (s.time >= bin_end) {
+      if (count > 0) {
+        out.add(bin_end - dt / 2.0, sum / static_cast<double>(count));
+      }
+      bin_end += dt;
+      sum = 0.0;
+      count = 0;
+    }
+    sum += s.value;
+    ++count;
+  }
+  if (count > 0) {
+    out.add(bin_end - dt / 2.0, sum / static_cast<double>(count));
+  }
+  return out;
 }
 
 }  // namespace dtdctcp::stats

@@ -1,12 +1,19 @@
-// Describing-function and Nyquist machinery tests (paper §IV-V).
+// Describing-function and Nyquist machinery tests (paper §IV-V), plus
+// the stability-atlas layer built on them: onset bisection, margins
+// edge cases, locus-sampler boundaries, and the packet-level
+// cross-validation envelope.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <complex>
+#include <sstream>
 
 #include "analysis/describing_function.h"
+#include "analysis/margins.h"
 #include "analysis/nyquist.h"
+#include "analysis/stability_atlas.h"
 #include "analysis/transfer_function.h"
+#include "core/oscillation_probe.h"
 
 namespace dtdctcp {
 namespace {
@@ -223,6 +230,100 @@ TEST(Nyquist, WiderHysteresisRaisesCriticalFlows) {
   }
 }
 
+TEST(Nyquist, BisectionMatchesLinearScanOnFig9OperatingPoint) {
+  // The bisection that replaced the linear scan must return the exact
+  // onset and its bracketing stable N at the paper's Fig. 9 operating
+  // point (10 Gbps, RTT 1 ms), for both the relay and the hysteresis.
+  PlantParams p = paper_plant(1.0, 1e-3);
+  for (const MarkingSpec& spec :
+       {MarkingSpec::single(40.0), MarkingSpec::hysteresis(30.0, 50.0)}) {
+    int first = -1;
+    for (int n = 5; n <= 200; ++n) {
+      p.flows = static_cast<double>(n);
+      if (analysis::analyze(p, spec).intersects) {
+        first = n;
+        break;
+      }
+    }
+    ASSERT_GT(first, 5);
+    const auto br = analysis::critical_flows_bracket(p, spec, 5, 200);
+    EXPECT_EQ(br.critical_n, first);
+    EXPECT_EQ(br.stable_n, first - 1);
+    EXPECT_EQ(analysis::critical_flows(p, spec, 5, 200), first);
+  }
+}
+
+TEST(Nyquist, BisectionBoundaryCases) {
+  PlantParams p = paper_plant(1.0, 1e-3);
+  const MarkingSpec spec = MarkingSpec::single(40.0);
+  // Whole range stable: no onset, the top of the range is the bracket.
+  auto br = analysis::critical_flows_bracket(p, spec, 5, 20);
+  EXPECT_EQ(br.critical_n, -1);
+  EXPECT_EQ(br.stable_n, 20);
+  // Already cycling at the bottom: onset reported there, no stable side.
+  br = analysis::critical_flows_bracket(p, spec, 100, 200);
+  EXPECT_EQ(br.critical_n, 100);
+  EXPECT_EQ(br.stable_n, -1);
+  // Inverted range: empty result.
+  br = analysis::critical_flows_bracket(p, spec, 50, 40);
+  EXPECT_EQ(br.critical_n, -1);
+  EXPECT_EQ(br.stable_n, -1);
+}
+
+TEST(Nyquist, MinQueueAmplitudeFiltersSubPacketRoots) {
+  // A cycling relay cell keeps its (tens-of-packets) cycle under the
+  // atlas's one-packet floor, and an absurdly large floor reclassifies
+  // it as stable — the knob only ever discards roots.
+  PlantParams p = paper_plant(80.0, 1e-3);
+  const MarkingSpec spec = MarkingSpec::single(40.0);
+  analysis::SolverOptions opt;
+  opt.min_queue_amplitude = 1.0;
+  const auto r = analysis::analyze(p, spec, opt);
+  ASSERT_TRUE(r.intersects);
+  for (const auto& c : r.cycles) EXPECT_GE(c.amplitude, 1.0);
+  opt.min_queue_amplitude = 1e6;
+  EXPECT_FALSE(analysis::analyze(p, spec, opt).intersects);
+}
+
+// --- stability margins: atlas-grid edge cases ---------------------------
+
+TEST(Margins, NoPhaseCrossingInBandIsNanFree) {
+  // A band below the plant's first -180 deg crossing: the gain margin
+  // falls back to its "effectively infinite" default, everything finite.
+  PlantParams p = paper_plant(60.0, 1e-4);
+  const auto m =
+      analysis::stability_margins(p, MarkingSpec::single(40.0), 1.0, 10.0);
+  EXPECT_TRUE(std::isfinite(m.gain_margin_db));
+  EXPECT_TRUE(std::isfinite(m.phase_margin_deg));
+  EXPECT_DOUBLE_EQ(m.gain_margin, 1e9);
+  EXPECT_DOUBLE_EQ(m.gain_margin_db, 180.0);
+  EXPECT_EQ(m.phase_crossing_w, 0.0);
+}
+
+TEST(Margins, DegenerateBandReturnsDefaults) {
+  PlantParams p = paper_plant(60.0, 1e-3);
+  for (const auto& [lo, hi] : {std::pair{1e3, 1e3}, std::pair{1e4, 1e3},
+                               std::pair{0.0, 1e3}}) {
+    const auto m =
+        analysis::stability_margins(p, MarkingSpec::single(40.0), lo, hi);
+    EXPECT_TRUE(std::isfinite(m.gain_margin_db)) << lo << " " << hi;
+    EXPECT_DOUBLE_EQ(m.gain_margin, 1e9);
+    EXPECT_DOUBLE_EQ(m.phase_margin_deg, 0.0);
+  }
+}
+
+TEST(Margins, MagnitudeNeverCriticalGivesZeroPhaseMargin) {
+  // With very many flows the loop gain is tiny everywhere: |K0 G| never
+  // reaches the critical level, so the phase margin reports 0 (not NaN)
+  // while the gain margin stays large and finite.
+  PlantParams p = paper_plant(1e5, 1e-4);
+  const auto m =
+      analysis::stability_margins(p, MarkingSpec::single(40.0));
+  EXPECT_TRUE(std::isfinite(m.gain_margin_db));
+  EXPECT_DOUBLE_EQ(m.phase_margin_deg, 0.0);
+  EXPECT_GT(m.gain_margin, 1.0);
+}
+
 TEST(Nyquist, LocusSamplersProduceOrderedSeries) {
   PlantParams p = paper_plant(60.0, 1e-3);
   const MarkingSpec spec = MarkingSpec::hysteresis(30.0, 50.0);
@@ -236,6 +337,230 @@ TEST(Nyquist, LocusSamplersProduceOrderedSeries) {
     EXPECT_GE(z.imag(), -1e-12) << "at X=" << x;
     EXPECT_LT(z.real(), 0.0);
   }
+}
+
+// --- locus sampler boundary behavior ------------------------------------
+
+TEST(Nyquist, LocusSamplersHandleDegenerateCounts) {
+  PlantParams p = paper_plant(60.0, 1e-3);
+  const MarkingSpec spec = MarkingSpec::single(40.0);
+  EXPECT_TRUE(analysis::sample_plant_locus(p, spec, 1.0, 1e5, 0).empty());
+  EXPECT_TRUE(analysis::sample_plant_locus(p, spec, 1.0, 1e5, -3).empty());
+  EXPECT_TRUE(analysis::sample_df_locus(spec, 100.0, 0).empty());
+  const auto one = analysis::sample_plant_locus(p, spec, 7.0, 1e5, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].first, 7.0);  // count == 1 samples w_lo
+  EXPECT_TRUE(std::isfinite(std::abs(one[0].second)));
+}
+
+TEST(Nyquist, DfLocusAtValidityBoundIsFinite) {
+  // x_max_factor <= 1 clamps the walk to a single amplitude just above
+  // the validity bound — every sample must stay finite (the bound
+  // itself would divide by zero in -1/N).
+  for (const MarkingSpec& spec :
+       {MarkingSpec::single(40.0), MarkingSpec::hysteresis(20.0, 40.0),
+        MarkingSpec::red(20.0, 40.0)}) {
+    for (double factor : {1.0, 0.5}) {
+      const auto locus = analysis::sample_df_locus(spec, factor, 8);
+      ASSERT_EQ(locus.size(), 8u);
+      for (const auto& [x, z] : locus) {
+        EXPECT_TRUE(std::isfinite(z.real())) << x;
+        EXPECT_TRUE(std::isfinite(z.imag())) << x;
+        EXPECT_GT(x, 0.0);
+      }
+    }
+  }
+}
+
+TEST(Nyquist, PlantLocusFiniteOverNineFrequencyDecades) {
+  PlantParams p = paper_plant(60.0, 1e-3);
+  for (const MarkingSpec& spec :
+       {MarkingSpec::single(40.0), MarkingSpec::red(20.0, 40.0),
+        MarkingSpec::pie()}) {
+    const auto locus =
+        analysis::sample_plant_locus(p, spec, 1e-2, 1e7, 128);
+    ASSERT_EQ(locus.size(), 128u);
+    for (const auto& [w, z] : locus) {
+      EXPECT_TRUE(std::isfinite(z.real())) << w;
+      EXPECT_TRUE(std::isfinite(z.imag())) << w;
+    }
+  }
+}
+
+// --- stability atlas ----------------------------------------------------
+
+analysis::AtlasConfig small_atlas() {
+  analysis::AtlasConfig cfg;
+  cfg.markings = {fluid::MarkingSpec::single(40.0),
+                  fluid::MarkingSpec::hysteresis(20.0, 40.0)};
+  cfg.rtts = {100e-6, 1e-3};
+  cfg.n_lo = 5;
+  cfg.n_hi = 128;
+  return cfg;
+}
+
+TEST(StabilityAtlas, GridShapeAndOnsetOrdering) {
+  const auto atlas = analysis::run_stability_atlas(small_atlas());
+  ASSERT_EQ(atlas.cells.size(), 4u);
+  // Row-major: (dctcp, 100us), (dctcp, 1ms), (dt, 100us), (dt, 1ms).
+  EXPECT_EQ(atlas.cells[0].onset.critical_n, -1);  // paper: stable
+  EXPECT_EQ(atlas.cells[2].onset.critical_n, -1);
+  const int relay_onset = atlas.cells[1].onset.critical_n;
+  const int hyst_onset = atlas.cells[3].onset.critical_n;
+  ASSERT_GT(relay_onset, 0);
+  ASSERT_GT(hyst_onset, 0);
+  // Theorem ordering: the hysteresis cycles at a larger N.
+  EXPECT_LT(relay_onset, hyst_onset);
+  // The cycling cells carry a cycle; the stable cells do not.
+  EXPECT_TRUE(atlas.cells[1].intersects);
+  EXPECT_GT(atlas.cells[1].amplitude_pkts, 1.0);
+  EXPECT_GT(atlas.cells[1].frequency_hz, 0.0);
+  EXPECT_FALSE(atlas.cells[0].intersects);
+}
+
+TEST(StabilityAtlas, SerialAndParallelRunsAreByteIdentical) {
+  const auto cfg = small_atlas();
+  runner::RunnerOptions serial;
+  serial.jobs = 1;
+  runner::RunnerOptions parallel;
+  parallel.jobs = 4;
+  const auto a = analysis::run_stability_atlas(cfg, serial);
+  const auto b = analysis::run_stability_atlas(cfg, parallel);
+  std::ostringstream csv_a, csv_b;
+  analysis::write_atlas_csv(a, csv_a);
+  analysis::write_atlas_csv(b, csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  EXPECT_GT(csv_a.str().size(), 100u);
+}
+
+TEST(StabilityAtlas, ObservableAmplitudeClipsToQueueRange) {
+  analysis::AtlasCell cell;
+  cell.intersects = true;
+  cell.operating_queue = 40.0;
+  cell.amplitude_pkts = 58.0;
+  cell.buffer_pkts = 250.0;
+  // Swing [40-58, 40+58] floors at 0: (98 - 0) / 2.
+  EXPECT_DOUBLE_EQ(analysis::observable_amplitude(cell), 49.0);
+  cell.amplitude_pkts = 20.0;  // unclipped: passes through
+  EXPECT_DOUBLE_EQ(analysis::observable_amplitude(cell), 20.0);
+  cell.buffer_pkts = 50.0;  // ceiling clip: (50 - 20) / 2
+  EXPECT_DOUBLE_EQ(analysis::observable_amplitude(cell), 15.0);
+  cell.intersects = false;
+  EXPECT_DOUBLE_EQ(analysis::observable_amplitude(cell), 0.0);
+}
+
+TEST(StabilityAtlas, MarkingLabelsRoundTrip) {
+  const fluid::MarkingSpec specs[] = {
+      fluid::MarkingSpec::single(40.0),
+      fluid::MarkingSpec::hysteresis(20.0, 40.0),
+      fluid::MarkingSpec::red(30.0, 90.0),
+      fluid::MarkingSpec::pie(50e-6),
+  };
+  for (const auto& spec : specs) {
+    fluid::MarkingSpec parsed;
+    ASSERT_TRUE(
+        analysis::parse_marking_label(analysis::marking_label(spec), &parsed))
+        << analysis::marking_label(spec);
+    EXPECT_EQ(parsed.kind, spec.kind);
+    EXPECT_DOUBLE_EQ(parsed.k_start, spec.k_start);
+    EXPECT_DOUBLE_EQ(parsed.k_stop, spec.k_stop);
+  }
+  fluid::MarkingSpec parsed;
+  EXPECT_TRUE(analysis::parse_marking_label("red:20,40,0.2,0,0.01", &parsed));
+  EXPECT_DOUBLE_EQ(parsed.red_max_p, 0.2);
+  EXPECT_FALSE(parsed.red_gentle);
+  EXPECT_DOUBLE_EQ(parsed.red_weight, 0.01);
+  EXPECT_TRUE(analysis::parse_marking_label("pie:100us,125,1250", &parsed));
+  EXPECT_DOUBLE_EQ(parsed.pie_target_delay, 100e-6);
+  EXPECT_DOUBLE_EQ(parsed.pie_alpha, 125.0);
+  EXPECT_DOUBLE_EQ(parsed.pie_beta, 1250.0);
+  EXPECT_FALSE(analysis::parse_marking_label("dt:40", &parsed));
+  EXPECT_FALSE(analysis::parse_marking_label("red:40,20", &parsed));
+  EXPECT_FALSE(analysis::parse_marking_label("nonsense", &parsed));
+}
+
+TEST(StabilityAtlas, CrossCcVariantsAnalyzeCleanly) {
+  // The DF layer must produce finite, NaN-free cells for every CC
+  // variant (quantitative packet validation is pinned on the DCTCP
+  // cells; see the RED/PIE envelope tests below and the bench).
+  analysis::AtlasConfig cfg = small_atlas();
+  cfg.markings = {fluid::MarkingSpec::single(40.0)};
+  cfg.ccs = {analysis::CcVariant::kDctcp, analysis::CcVariant::kEcnReno,
+             analysis::CcVariant::kD2tcp};
+  cfg.rtts = {1e-3};
+  const auto atlas = analysis::run_stability_atlas(cfg);
+  ASSERT_EQ(atlas.cells.size(), 3u);
+  for (const auto& c : atlas.cells) {
+    EXPECT_TRUE(std::isfinite(c.amplitude_pkts));
+    EXPECT_TRUE(std::isfinite(c.frequency_hz));
+    EXPECT_TRUE(std::isfinite(c.gain_margin_db));
+    EXPECT_TRUE(std::isfinite(c.max_re_locus));
+  }
+}
+
+// --- packet-level cross-validation (factor-2 envelope) ------------------
+
+// One RED cell with a predicted cycle and one PIE cell predicted
+// (effectively) stable, validated against the packet simulator exactly
+// like bench/ext_stability_atlas gates its larger set.
+
+TEST(StabilityAtlas, RedCellAgreesWithPacketSimWithinFactorTwo) {
+  analysis::AtlasConfig cfg;
+  cfg.markings = {fluid::MarkingSpec::red(20.0, 40.0)};
+  analysis::AtlasCell cell;
+  cell.spec = cfg.markings[0];
+  cell.rtt = 1e-3;
+  cell.rate_bps = 10e9;
+  cell.buffer_pkts = 250.0;
+  const auto pred = analysis::predict_atlas_cell(cfg, cell, 31);
+  ASSERT_TRUE(pred.intersects);
+
+  core::OscillationProbeConfig probe;
+  probe.spec = cell.spec;
+  probe.flows = 31;
+  probe.rtt = cell.rtt;
+  probe.rate_bps = cell.rate_bps;
+  probe.buffer_pkts = cell.buffer_pkts;
+  const auto obs = core::run_oscillation_probe(probe);
+  // The comparable prediction is the clipped (observable) amplitude:
+  // the DF swing dips below queue = 0, which the packet queue cannot.
+  EXPECT_TRUE(core::within_factor(
+      obs.amplitude_pkts, analysis::observable_amplitude(pred), 2.0))
+      << obs.amplitude_pkts << " vs " << analysis::observable_amplitude(pred);
+  EXPECT_TRUE(
+      core::within_factor(obs.frequency_hz, pred.frequency_hz, 2.0))
+      << obs.frequency_hz << " vs " << pred.frequency_hz;
+}
+
+TEST(StabilityAtlas, StablePieCellShowsNoSustainedOscillation) {
+  analysis::AtlasConfig cfg;
+  fluid::MarkingSpec pie = fluid::MarkingSpec::pie(50e-6);
+  pie.pie_alpha = 125.0;  // datacenter-scale gains (see the bench)
+  pie.pie_beta = 1250.0;
+  cfg.markings = {pie};
+  analysis::AtlasCell cell;
+  cell.spec = pie;
+  cell.rtt = 1e-3;
+  cell.rate_bps = 10e9;
+  cell.buffer_pkts = 250.0;
+  const auto pred = analysis::predict_atlas_cell(cfg, cell, 12);
+  // Every DF root is sub-packet: effectively stable under the atlas's
+  // one-packet floor.
+  EXPECT_FALSE(pred.intersects);
+
+  core::OscillationProbeConfig probe;
+  probe.spec = pie;
+  probe.flows = 12;
+  probe.rtt = cell.rtt;
+  probe.rate_bps = cell.rate_bps;
+  probe.buffer_pkts = cell.buffer_pkts;
+  const auto obs = core::run_oscillation_probe(probe);
+  // The queue holds near target_delay * C (~41.7 pkts) with RMS
+  // fluctuation well under half the operating level.
+  EXPECT_LT(obs.amplitude_rms_pkts, 0.5 * pred.operating_queue);
+  EXPECT_NEAR(obs.queue_mean, pred.operating_queue,
+              0.5 * pred.operating_queue);
+  EXPECT_GT(obs.utilization, 0.9);
 }
 
 }  // namespace

@@ -199,7 +199,7 @@ TEST(MarkingConfig, FluidSpecConvertsBytesToPackets) {
   auto m = core::MarkingConfig::dt_dctcp(30 * 1500, 50 * 1500,
                                          queue::ThresholdUnit::kBytes);
   auto spec = m.fluid_spec(1500);
-  EXPECT_TRUE(spec.is_hysteresis);
+  EXPECT_EQ(spec.kind, fluid::MarkingKind::kHysteresis);
   EXPECT_NEAR(spec.k_start, 30.0, 1e-12);
   EXPECT_NEAR(spec.k_stop, 50.0, 1e-12);
   EXPECT_NEAR(m.midpoint(), 40.0 * 1500, 1e-9);
@@ -208,7 +208,7 @@ TEST(MarkingConfig, FluidSpecConvertsBytesToPackets) {
 TEST(MarkingConfig, PacketUnitPassthrough) {
   auto m = core::MarkingConfig::dctcp(40.0);
   auto spec = m.fluid_spec(1500);
-  EXPECT_FALSE(spec.is_hysteresis);
+  EXPECT_EQ(spec.kind, fluid::MarkingKind::kSingle);
   EXPECT_NEAR(spec.k_start, 40.0, 1e-12);
 }
 

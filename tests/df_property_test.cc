@@ -9,6 +9,7 @@
 #include "analysis/describing_function.h"
 #include "fluid/marking.h"
 #include "queue/ecn_hysteresis.h"
+#include "queue/ecn_threshold.h"
 #include "util/rng.h"
 
 #include "queue_test_util.h"
@@ -144,6 +145,72 @@ TEST(AutomataAgreement, FluidAndQueueTrendPeakAgreeOnRandomWalk) {
     fluid_a.update(static_cast<double>(queue_a.packets()));
     ASSERT_EQ(fluid_a.marking(), queue_a.marking()) << "step " << i;
   }
+}
+
+// --- K1 == K2 degenerate hysteresis -------------------------------------
+// The atlas sweeps (K1, K2) grids that include the diagonal, so the
+// degenerate loop must collapse to the relay at every layer: closed-form
+// DF, numeric quadrature, fluid automaton, and packet queue.
+
+TEST(DegenerateHysteresis, NumericDfCollapsesToRelayClosedForm) {
+  // numeric_df drives the hysteresis *automaton*, not the closed form,
+  // so this checks the state machine's degenerate case too.
+  const MarkingSpec spec = MarkingSpec::hysteresis(40.0, 40.0);
+  for (double x : {45.0, 57.0, 90.0, 400.0}) {
+    const Complex cf = analysis::df_dctcp(x, 40.0);
+    const Complex nu = analysis::numeric_df(spec, x, 0.0);
+    EXPECT_NEAR(nu.real(), cf.real(), 5e-3 * std::abs(cf) + 1e-10) << x;
+    EXPECT_NEAR(nu.imag(), 0.0, 5e-3 * std::abs(cf) + 1e-10) << x;
+  }
+}
+
+TEST(DegenerateHysteresis, AutomatonEqualsSingleThresholdOnRandomWalk) {
+  const double k = 40.0;
+  fluid::MarkingAutomaton hyst(MarkingSpec::hysteresis(k, k));
+  fluid::MarkingAutomaton relay(MarkingSpec::single(k));
+  Rng rng(20260809);
+  double q = 20.0;
+  for (int i = 0; i < 50000; ++i) {
+    q = std::max(0.0, q + (rng.bernoulli(0.5) ? 1.5 : -1.5) +
+                          8.0 * std::sin(i * 0.002));
+    ASSERT_EQ(hyst.update(q), relay.update(q)) << "step " << i << " q=" << q;
+  }
+}
+
+TEST(DegenerateHysteresis, QueueMatchesSingleThresholdShiftedByOne) {
+  // Pinned convention: EcnHysteresisQueue decides in after_admit against
+  // the occupancy INCLUDING the arriving packet, while EcnThresholdQueue
+  // decides in before_admit against the occupancy WITHOUT it. With
+  // K1 == K2 == K the degenerate loop therefore marks exactly the
+  // packets a single threshold at K - 1 marks. This asymmetry predates
+  // the atlas and is load-bearing for the byte-identical fig10/fig11
+  // kernels — pin it, do not "fix" it.
+  const double k = 5.0;
+  queue::EcnHysteresisQueue hyst(0, 0, k, k, queue::ThresholdUnit::kPackets);
+  queue::EcnThresholdQueue relay(0, 0, k - 1.0,
+                                 queue::ThresholdUnit::kPackets);
+  Rng rng(4242);
+  auto fresh = [] {
+    sim::Packet p;
+    p.size_bytes = 1500;
+    p.ect = true;
+    return p;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.bernoulli(0.5 + 0.2 * std::sin(i * 0.01))) {
+      auto a = fresh();
+      auto b = fresh();
+      hyst.enqueue(a, 0.0);
+      relay.enqueue(b, 0.0);
+      ASSERT_EQ(a.ce, b.ce) << "step " << i << " occ=" << hyst.packets();
+    } else {
+      deq(hyst, 0.0);
+      deq(relay, 0.0);
+    }
+    ASSERT_EQ(hyst.packets(), relay.packets());
+  }
+  EXPECT_GT(hyst.marks(), 0u);
+  EXPECT_EQ(hyst.marks(), relay.marks());
 }
 
 // --- half-band variant properties ---------------------------------------

@@ -14,7 +14,9 @@ Two subcommands:
       both files, honouring the metric's direction: "pkts/s",
       "events/s", and "steps/s" (throughput, higher is better) fail on
       a drop, "p99_fct_s" (tail flow-completion time, lower is better)
-      fails on a rise.
+      fails on a rise, and "critical_n" (the stability atlas's
+      limit-cycle onset, deterministic math) must match the baseline
+      exactly — any shift in either direction fails regardless of FRAC.
       Exits non-zero when any gated metric regressed by more than FRAC
       (default 0.10) relative to the baseline.
 
@@ -26,12 +28,15 @@ import json
 import sys
 
 # Gated metrics and their direction: "higher" means bigger is better
-# (throughput), "lower" means smaller is better (latency/FCT).
+# (throughput), "lower" means smaller is better (latency/FCT), "exact"
+# means the value is deterministic and must not move at all (the
+# stability atlas's predicted onsets).
 GATED_METRICS = {
     "pkts/s": "higher",
     "events/s": "higher",
     "steps/s": "higher",
     "p99_fct_s": "lower",
+    "critical_n": "exact",
 }
 
 
@@ -80,8 +85,16 @@ def cmd_compare(args):
     failed = False
     for metric, name in common:
         key = (metric, name)
+        direction = GATED_METRICS[metric]
+        if direction == "exact":
+            regressed = cur[key] != base[key]
+            verdict = "REGRESSION" if regressed else "ok"
+            failed = failed or regressed
+            print(f"{name}: baseline {base[key]:.6g} {metric}, "
+                  f"current {cur[key]:.6g} {metric} (exact) {verdict}")
+            continue
         ratio = cur[key] / base[key]
-        if GATED_METRICS[metric] == "higher":
+        if direction == "higher":
             regressed = ratio < 1.0 - args.max_regression
         else:
             regressed = ratio > 1.0 + args.max_regression

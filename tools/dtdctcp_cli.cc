@@ -54,7 +54,7 @@ std::optional<core::MarkingConfig> parse_marking(const std::string& spec,
 int usage() {
   std::fprintf(stderr,
                "usage: dtdctcp_cli <dumbbell|incast|nyquist|fluid|fct|"
-               "hybrid|sweep> [options]\n"
+               "hybrid|sweep|atlas> [options]\n"
                "common options:\n"
                "  --flows N            number of flows (default 10)\n"
                "  --marking SPEC       dctcp:<K> or dt:<K1>,<K2> "
@@ -76,7 +76,12 @@ int usage() {
                "          --rate-gbps R --buffer-pkts B --seed S "
                "(CSV via DTDCTCP_CSV_DIR)\n"
                "sweep:    --from N --to N --step N plus the dumbbell "
-               "options\n");
+               "options\n"
+               "atlas:    --markings \"dctcp:40;dt:20,40;red:30,90;pie\" "
+               "--cc dctcp,ecn-reno,d2tcp\n"
+               "          --rtts-us L --rates-gbps L --buffers L "
+               "--nlo N --nhi N --g G\n"
+               "          --d2tcp-d D --csv PATH --gnuplot PATH\n");
   return 2;
 }
 
@@ -343,6 +348,128 @@ int run_hybrid_cmd(const Args& args) {
   return 0;
 }
 
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string::size_type start = 0;
+  while (start <= s.size()) {
+    const auto end = s.find(sep, start);
+    if (end == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      break;
+    }
+    if (end > start) out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+// Stability atlas: the DF/bifurcation grid over marking rules, CC
+// variants, RTTs, rates, and buffers (analysis::run_stability_atlas).
+//
+//   dtdctcp_cli atlas --markings "dctcp:40;dt:20,40;red:30,90;pie"
+//       --cc dctcp,ecn-reno --rtts-us 100,500,1000 --rates-gbps 10
+//       --buffers 250 --csv atlas.csv --gnuplot atlas.gp --jobs 8
+int run_atlas_cmd(const Args& args) {
+  analysis::AtlasConfig cfg;
+  for (const auto& label :
+       split(args.get("markings", "dctcp:40;dt:20,40"), ';')) {
+    fluid::MarkingSpec spec;
+    if (!analysis::parse_marking_label(label, &spec)) {
+      std::fprintf(stderr, "bad marking label '%s'\n", label.c_str());
+      return usage();
+    }
+    cfg.markings.push_back(spec);
+  }
+  cfg.ccs.clear();
+  for (const auto& cc : split(args.get("cc", "dctcp"), ',')) {
+    if (cc == "dctcp") {
+      cfg.ccs.push_back(analysis::CcVariant::kDctcp);
+    } else if (cc == "ecn-reno") {
+      cfg.ccs.push_back(analysis::CcVariant::kEcnReno);
+    } else if (cc == "d2tcp") {
+      cfg.ccs.push_back(analysis::CcVariant::kD2tcp);
+    } else {
+      std::fprintf(stderr, "bad --cc '%s'\n", cc.c_str());
+      return usage();
+    }
+  }
+  cfg.rtts.clear();
+  for (const auto& t : split(args.get("rtts-us", "1000"), ',')) {
+    cfg.rtts.push_back(std::atof(t.c_str()) * 1e-6);
+  }
+  cfg.rates_bps.clear();
+  for (const auto& r : split(args.get("rates-gbps", "10"), ',')) {
+    cfg.rates_bps.push_back(units::gbps(std::atof(r.c_str())));
+  }
+  cfg.buffers_pkts.clear();
+  for (const auto& b : split(args.get("buffers", "250"), ',')) {
+    cfg.buffers_pkts.push_back(std::atof(b.c_str()));
+  }
+  cfg.g = args.get_double("g", 1.0 / 16.0);
+  cfg.d2tcp_d = args.get_double("d2tcp-d", 1.5);
+  cfg.n_lo = args.get_int("nlo", 2);
+  cfg.n_hi = args.get_int("nhi", 512);
+  if (cfg.markings.empty() || cfg.ccs.empty() || cfg.rtts.empty() ||
+      cfg.rates_bps.empty() || cfg.buffers_pkts.empty() ||
+      cfg.n_lo < 1 || cfg.n_hi < cfg.n_lo) {
+    std::fprintf(stderr, "empty atlas axis or bad --nlo/--nhi\n");
+    return usage();
+  }
+
+  runner::RunnerOptions opts;
+  opts.progress = [](const runner::Progress& p) {
+    std::fprintf(stderr, "  [atlas] %zu/%zu cells done (last %.2fs)\n",
+                 p.completed, p.total, p.job_seconds);
+  };
+  const auto atlas = analysis::run_stability_atlas(cfg, opts);
+  std::fprintf(stderr,
+               "  [atlas] %zu cells on %zu workers: %.2fs wall "
+               "(%.2fx speedup)\n",
+               atlas.telemetry.jobs, atlas.telemetry.workers,
+               atlas.telemetry.wall_seconds, atlas.telemetry.speedup());
+
+  std::printf("%-12s %-9s %8s %6s %6s | %5s %5s | %9s %9s %4s %8s\n",
+              "marking", "cc", "rtt_us", "gbps", "buf", "N*", "N_ok",
+              "amp_pkts", "freq_hz", "clip", "gm_db");
+  for (const auto& c : atlas.cells) {
+    std::printf(
+        "%-12s %-9s %8.0f %6.1f %6.0f | %5d %5d | %9.2f %9.1f %4s %8.2f\n",
+        analysis::marking_label(c.spec).c_str(), analysis::cc_label(c.cc),
+        c.rtt * 1e6, c.rate_bps / 1e9, c.buffer_pkts, c.onset.critical_n,
+        c.onset.stable_n, c.amplitude_pkts, c.frequency_hz,
+        c.clipped ? "yes" : "no", c.gain_margin_db);
+  }
+
+  const std::string csv_path = args.get("csv", "");
+  if (!csv_path.empty()) {
+    auto out = open_csv(csv_path);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "could not open %s\n", csv_path.c_str());
+      return 1;
+    }
+    analysis::write_atlas_csv(atlas, out);
+    std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+  }
+  const std::string gp_path = args.get("gnuplot", "");
+  if (!gp_path.empty()) {
+    auto out = open_csv(gp_path);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "could not open %s\n", gp_path.c_str());
+      return 1;
+    }
+    const auto slash = csv_path.find_last_of('/');
+    analysis::write_atlas_gnuplot(
+        atlas,
+        csv_path.empty()
+            ? "atlas.csv"
+            : (slash == std::string::npos ? csv_path
+                                          : csv_path.substr(slash + 1)),
+        out);
+    std::fprintf(stderr, "wrote %s\n", gp_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -374,5 +501,6 @@ int main(int argc, char** argv) {
   if (cmd == "fct") return run_fct_cmd(args, *marking);
   if (cmd == "hybrid") return run_hybrid_cmd(args);
   if (cmd == "sweep") return run_sweep_cmd(args, *marking);
+  if (cmd == "atlas") return run_atlas_cmd(args);
   return usage();
 }
